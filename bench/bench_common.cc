@@ -1,0 +1,117 @@
+#include "bench/bench_common.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace dot {
+namespace bench {
+
+namespace {
+
+BoxConfig MakeBoxByIndex(int box) {
+  DOT_CHECK(box == 1 || box == 2) << "box must be 1 or 2";
+  return box == 1 ? MakeBox1() : MakeBox2();
+}
+
+}  // namespace
+
+std::unique_ptr<Instance> Instance::TpchOnBox(BoxConfig box,
+                                              TpchVariant variant) {
+  auto inst = std::unique_ptr<Instance>(new Instance());
+  inst->box_ = std::move(box);
+  inst->schema_ = variant == TpchVariant::kEsSubset
+                      ? MakeTpchEsSubsetSchema(20.0)
+                      : MakeTpchSchema(20.0);
+  std::vector<QuerySpec> templates;
+  std::vector<int> sequence;
+  switch (variant) {
+    case TpchVariant::kOriginal:
+      templates = MakeTpchTemplates();
+      sequence = RepeatSequence(22, 3);
+      break;
+    case TpchVariant::kModified:
+      templates = MakeModifiedTpchTemplates();
+      sequence = RepeatSequence(5, 20);
+      break;
+    case TpchVariant::kEsSubset:
+      templates = MakeTpchSubsetTemplates();
+      sequence = RepeatSequence(11, 3);
+      break;
+  }
+  inst->dss_ = std::make_unique<DssWorkloadModel>(
+      "TPC-H", &inst->schema_, &inst->box_, std::move(templates),
+      std::move(sequence), PlannerConfig{});
+  inst->model_ = inst->dss_.get();
+
+  // Profiling phase, §3.4 option (a): extended-optimizer estimates.
+  Profiler profiler(&inst->schema_, &inst->box_);
+  Instance* raw = inst.get();
+  inst->profiles_ =
+      std::make_unique<WorkloadProfiles>(profiler.ProfileWorkload(
+          *inst->model_, [raw](const std::vector<int>& p) {
+            return raw->model_->Estimate(p);
+          }));
+  return inst;
+}
+
+std::unique_ptr<Instance> Instance::Tpch(int box, TpchVariant variant) {
+  return TpchOnBox(MakeBoxByIndex(box), variant);
+}
+
+std::unique_ptr<Instance> Instance::Tpcc(int box) {
+  auto inst = std::unique_ptr<Instance>(new Instance());
+  inst->box_ = MakeBoxByIndex(box);
+  inst->schema_ = MakeTpccSchema(300);
+  inst->oltp_ = MakeTpccWorkload(&inst->schema_, &inst->box_, TpccConfig{});
+  inst->model_ = inst->oltp_.get();
+
+  // Profiling phase, §3.4 option (b) / §4.5.1: one 5-minute test run on the
+  // All H-SSD layout (plans are placement-invariant).
+  Profiler profiler(&inst->schema_, &inst->box_);
+  Instance* raw = inst.get();
+  inst->profiles_ =
+      std::make_unique<WorkloadProfiles>(profiler.ProfileWorkload(
+          *inst->model_, [raw](const std::vector<int>& p) {
+            ExecutorConfig cfg;
+            cfg.noise_cv = 0.01;
+            Executor executor(raw->model_, cfg);
+            return executor.Run(p);
+          }));
+  return inst;
+}
+
+DotProblem Instance::Problem(double relative_sla) const {
+  DotProblem problem;
+  problem.schema = &schema_;
+  problem.box = &box_;
+  problem.workload = model_;
+  problem.relative_sla = relative_sla;
+  problem.profiles = profiles_.get();
+  return problem;
+}
+
+DotResult Instance::RunDot(double relative_sla) const {
+  DotResult r = DotOptimizer(Problem(relative_sla)).Optimize();
+  DOT_CHECK(r.status.ok()) << "DOT infeasible at SLA " << relative_sla
+                           << " on " << box_.name << ": "
+                           << r.status.ToString();
+  return r;
+}
+
+Instance::Evaluation Instance::Evaluate(const std::vector<int>& placement,
+                                        double relative_sla) const {
+  DotOptimizer estimator(Problem(relative_sla));
+  Evaluation out;
+  out.toc_cents_per_task = estimator.EstimateToc(placement, &out.estimate);
+  out.layout_cost_cents_per_hour =
+      Layout(&schema_, &box_, placement).CostCentsPerHour(CostModelSpec{});
+  out.psr = Psr(out.estimate, estimator.targets());
+  return out;
+}
+
+std::string Sci(double v) { return StrPrintf("%.2e", v); }
+
+std::string Minutes(double ms) { return StrPrintf("%.1f", ms / 60000.0); }
+
+}  // namespace bench
+}  // namespace dot

@@ -1,0 +1,75 @@
+#ifndef DOTPROV_BENCH_BENCH_COMMON_H_
+#define DOTPROV_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dot/dot.h"
+
+namespace dot {
+namespace bench {
+
+/// Which TPC-H template set an instance runs.
+enum class TpchVariant {
+  kOriginal,  ///< 22 templates x 3 (§4.4.1)
+  kModified,  ///< 5 selective templates x 20 (§4.4.2)
+  kEsSubset,  ///< 11 templates x 3 on 8 objects (§4.4.3)
+};
+
+/// One fully-wired provisioning instance: schema + box + workload model +
+/// §3.4 workload profiles, ready to build DotProblems at any SLA.
+class Instance {
+ public:
+  /// TPC-H instance on the given box (1 or 2).
+  static std::unique_ptr<Instance> Tpch(int box, TpchVariant variant);
+
+  /// TPC-C instance (test-run profiling, §4.5.1).
+  static std::unique_ptr<Instance> Tpcc(int box);
+
+  /// Instance over an arbitrary box with the TPC-H original workload
+  /// (used by the generalized-provisioning bench).
+  static std::unique_ptr<Instance> TpchOnBox(BoxConfig box,
+                                             TpchVariant variant);
+
+  DotProblem Problem(double relative_sla) const;
+
+  const Schema& schema() const { return schema_; }
+  const BoxConfig& box() const { return box_; }
+  const WorkloadModel& model() const { return *model_; }
+
+  /// Runs DOT at the given SLA. Aborts on infeasibility.
+  DotResult RunDot(double relative_sla) const;
+
+  /// TOC (cents/task), estimate, and PSR of an arbitrary placement under
+  /// the targets implied by `relative_sla`.
+  struct Evaluation {
+    double toc_cents_per_task;
+    double layout_cost_cents_per_hour;
+    PerfEstimate estimate;
+    double psr;
+  };
+  Evaluation Evaluate(const std::vector<int>& placement,
+                      double relative_sla) const;
+
+ private:
+  Instance() = default;
+
+  Schema schema_;
+  BoxConfig box_;
+  std::unique_ptr<DssWorkloadModel> dss_;
+  std::unique_ptr<OltpWorkloadModel> oltp_;
+  WorkloadModel* model_ = nullptr;
+  std::unique_ptr<WorkloadProfiles> profiles_;
+};
+
+/// "1.23e-04"-style short scientific formatting used in the tables.
+std::string Sci(double v);
+
+/// Minutes with one decimal.
+std::string Minutes(double ms);
+
+}  // namespace bench
+}  // namespace dot
+
+#endif  // DOTPROV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,16 @@
+// Reproduces Figure 3: cost/performance of every layout on the original
+// TPC-H workload (66 queries) at relative SLA 0.5, on both boxes.
+// Expected shape (§4.4.1): DOT saves >3x TOC vs All H-SSD at 100% PSR;
+// OA has lower PSR (95%/90% in the paper) and worse TOC than DOT; the other
+// simple layouts are cheap but miss their SLAs.
+
+#include <iostream>
+
+#include "bench/bench_tpch_figure.h"
+
+int main() {
+  std::cout << "=== Figure 3: original TPC-H workload, relative SLA 0.5 ===\n";
+  dot::bench::RunTpchComparisonFigure(dot::bench::TpchVariant::kOriginal,
+                                      0.5, std::cout);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 7: the modified TPC-H workload with the SLA relaxed to
+// 0.25. Expected shape (§4.4.2): DOT's TOC is ~5x lower than All H-SSD at
+// 100% PSR, and bulk data (lineitem) moves off the H-SSD to HDD RAID 0 on
+// Box 1 / L-SSD RAID 0 on Box 2 (layouts printed below the figure).
+
+#include <iostream>
+
+#include "bench/bench_tpch_figure.h"
+
+int main() {
+  std::cout
+      << "=== Figure 7: modified TPC-H workload, relative SLA 0.25 ===\n";
+  dot::bench::RunTpchComparisonFigure(dot::bench::TpchVariant::kModified,
+                                      0.25, std::cout);
+  std::cout << "\nLayouts at SLA 0.25 (paper: bulk data moves to the "
+               "cheaper RAID 0 classes):\n";
+  dot::bench::PrintDotLayouts(dot::bench::TpchVariant::kModified, 0.25,
+                              std::cout);
+  return 0;
+}

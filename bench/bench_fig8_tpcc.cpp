@@ -1,0 +1,49 @@
+// Reproduces Figure 8: TPC-C throughput (tpmC) and TOC for the simple
+// layouts and for DOT at relative SLAs 0.5, 0.25 and 0.125, on both boxes.
+// Expected shape (§4.5.2): DOT's TOC decreases as the SLA relaxes, reaching
+// ~3x below All H-SSD at SLA 0.125 while keeping tpmC above the floor.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace dot;
+  using dot::bench::Instance;
+  std::cout << "=== Figure 8: TPC-C results (300 connections, 1h period) "
+               "===\n";
+  for (int box = 1; box <= 2; ++box) {
+    auto inst = Instance::Tpcc(box);
+    std::cout << "\n--- " << inst->box().name << " ---\n";
+    TablePrinter t({"layout", "tpmC", "TOC (cents/1M txns)",
+                    "cost (cents/hour)", "meets SLA"});
+    auto add = [&](const std::string& name,
+                   const std::vector<int>& placement, double sla) {
+      const Instance::Evaluation e = inst->Evaluate(placement, sla);
+      t.AddRow({name, StrPrintf("%.0f", e.estimate.tpmc),
+                StrPrintf("%.3f", e.toc_cents_per_task * 1e6),
+                StrPrintf("%.4f", e.layout_cost_cents_per_hour),
+                e.psr >= 1.0 ? "yes" : "no"});
+    };
+    for (const NamedLayout& l :
+         MakeSimpleLayouts(inst->schema(), inst->box())) {
+      add(l.name, l.placement, 0.5);
+    }
+    t.AddSeparator();
+    for (double sla : {0.5, 0.25, 0.125}) {
+      DotResult r = inst->RunDot(sla);
+      add(StrPrintf("DOT (SLA %.3f)", sla), r.placement, sla);
+    }
+    t.Print(std::cout);
+
+    const Instance::Evaluation hssd = inst->Evaluate(
+        UniformPlacement(inst->schema().NumObjects(), 2), 0.125);
+    DotResult loose = inst->RunDot(0.125);
+    std::cout << StrPrintf(
+        "DOT at SLA 0.125: %.2fx lower TOC than All H-SSD\n",
+        hssd.toc_cents_per_task / loose.toc_cents_per_task);
+  }
+  return 0;
+}

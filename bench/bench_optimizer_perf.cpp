@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark) for the optimizer machinery itself:
+// DOT's optimization phase vs exhaustive search as the object count grows,
+// move enumeration, profiling, and the planner. Complements the §4.4.3
+// wall-clock comparison (paper: DOT ~9 s vs ES ~1,400 s on their TPC-H
+// instance; ~3 s vs ~800 s on TPC-C).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dot/dot.h"
+
+namespace dot {
+namespace {
+
+/// Synthetic instance with `tables` tables (one PK index each) and a
+/// simple per-table scan workload, on Box 1.
+struct SyntheticInstance {
+  Schema schema;
+  BoxConfig box = MakeBox1();
+  std::unique_ptr<DssWorkloadModel> workload;
+  std::unique_ptr<WorkloadProfiles> profiles;
+
+  explicit SyntheticInstance(int tables) {
+    std::vector<QuerySpec> templates;
+    for (int i = 0; i < tables; ++i) {
+      const std::string name = "t" + std::to_string(i);
+      const int id =
+          schema.AddTable(name, 1e6 * (1 + i % 7), 100 + 10 * (i % 5));
+      schema.AddIndex(name + "_pk", id, 8);
+      QuerySpec q;
+      q.name = "q" + std::to_string(i);
+      RelationAccess ra;
+      ra.table = name;
+      ra.selectivity = (i % 3 == 0) ? 0.001 : 1.0;
+      ra.index_sargable = i % 3 == 0;
+      q.relations = {ra};
+      templates.push_back(std::move(q));
+    }
+    workload = std::make_unique<DssWorkloadModel>(
+        "synthetic", &schema, &box, std::move(templates),
+        RepeatSequence(tables, 1), PlannerConfig{});
+    Profiler profiler(&schema, &box);
+    profiles = std::make_unique<WorkloadProfiles>(profiler.ProfileWorkload(
+        *workload,
+        [&](const std::vector<int>& p) { return workload->Estimate(p); }));
+  }
+
+  DotProblem Problem() {
+    DotProblem p;
+    p.schema = &schema;
+    p.box = &box;
+    p.workload = workload.get();
+    p.relative_sla = 0.5;
+    p.profiles = profiles.get();
+    return p;
+  }
+};
+
+void BM_DotOptimize(benchmark::State& state) {
+  SyntheticInstance inst(static_cast<int>(state.range(0)));
+  DotProblem problem = inst.Problem();
+  for (auto _ : state) {
+    DotResult r = DotOptimizer(problem).Optimize();
+    benchmark::DoNotOptimize(r.toc_cents_per_task);
+  }
+  state.SetLabel(std::to_string(2 * state.range(0)) + " objects");
+}
+BENCHMARK(BM_DotOptimize)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  SyntheticInstance inst(static_cast<int>(state.range(0)));
+  DotProblem problem = inst.Problem();
+  for (auto _ : state) {
+    DotResult r = ExhaustiveSearch(problem);
+    benchmark::DoNotOptimize(r.toc_cents_per_task);
+  }
+  state.SetLabel(std::to_string(2 * state.range(0)) + " objects => 3^" +
+                 std::to_string(2 * state.range(0)) + " layouts");
+}
+// 2 tables = 3^4 = 81 layouts; 6 tables = 3^12 ≈ 531k layouts.
+BENCHMARK(BM_ExhaustiveSearch)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_EnumerateMoves(benchmark::State& state) {
+  SyntheticInstance inst(static_cast<int>(state.range(0)));
+  DotProblem problem = inst.Problem();
+  const auto groups = inst.schema.MakeGroups();
+  for (auto _ : state) {
+    auto moves = EnumerateMoves(problem, groups);
+    benchmark::DoNotOptimize(moves.size());
+  }
+}
+BENCHMARK(BM_EnumerateMoves)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ProfileWorkload(benchmark::State& state) {
+  SyntheticInstance inst(static_cast<int>(state.range(0)));
+  Profiler profiler(&inst.schema, &inst.box);
+  for (auto _ : state) {
+    auto profiles = profiler.ProfileWorkload(
+        *inst.workload, [&](const std::vector<int>& p) {
+          return inst.workload->Estimate(p);
+        });
+    benchmark::DoNotOptimize(profiles.single());
+  }
+}
+BENCHMARK(BM_ProfileWorkload)->Arg(8)->Arg(32);
+
+void BM_PlanTpchWorkload(benchmark::State& state) {
+  Schema schema = MakeTpchSchema(20.0);
+  BoxConfig box = MakeBox1();
+  DssWorkloadModel workload("w", &schema, &box, MakeTpchTemplates(),
+                            RepeatSequence(22, 3), PlannerConfig{});
+  const auto placement = UniformPlacement(schema.NumObjects(), 2);
+  for (auto _ : state) {
+    PerfEstimate est = workload.Estimate(placement);
+    benchmark::DoNotOptimize(est.elapsed_ms);
+  }
+}
+BENCHMARK(BM_PlanTpchWorkload);
+
+void BM_TpccEstimate(benchmark::State& state) {
+  Schema schema = MakeTpccSchema(300);
+  BoxConfig box = MakeBox2();
+  auto workload = MakeTpccWorkload(&schema, &box, TpccConfig{});
+  const auto placement = UniformPlacement(schema.NumObjects(), 1);
+  for (auto _ : state) {
+    PerfEstimate est = workload->Estimate(placement);
+    benchmark::DoNotOptimize(est.tpmc);
+  }
+}
+BENCHMARK(BM_TpccEstimate);
+
+}  // namespace
+}  // namespace dot
+
+BENCHMARK_MAIN();

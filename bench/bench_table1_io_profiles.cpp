@@ -1,0 +1,66 @@
+// Reproduces Table 1: cost and I/O profiles of the five storage classes at
+// degree-of-concurrency 1 and 300, measured by the §3.5.1 microbenchmark
+// against the calibrated device models, with prices recomputed from the
+// Table 2 specs via the §2.1 amortization model.
+
+#include <iostream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "dot/dot.h"
+
+int main() {
+  using namespace dot;
+  std::cout << "=== Table 1: cost and I/O profiles of storage classes ===\n"
+            << "Each cell: measured ms/IO (reads) or ms/row (writes) at\n"
+            << "concurrency 1, with the concurrency-300 value in\n"
+            << "parentheses, as in the paper.\n\n";
+
+  TablePrinter t({"", "HDD", "HDD Raid 0", "L-SSD", "L-SSD Raid 0",
+                  "H-SSD"});
+
+  std::vector<std::string> price_row = {"TOC/GB/hour (cents)"};
+  std::vector<MeasuredIoProfile> at1;
+  std::vector<MeasuredIoProfile> at300;
+  for (int i = 0; i < kNumStockClasses; ++i) {
+    const StorageClass sc = MakeStockClass(static_cast<StockClass>(i));
+    price_row.push_back(StrPrintf("%.2e", sc.price_cents_per_gb_hour()));
+    MicrobenchConfig cfg;
+    cfg.concurrency = 1;
+    at1.push_back(RunDeviceMicrobench(sc.device(), cfg));
+    cfg.concurrency = 300;
+    at300.push_back(RunDeviceMicrobench(sc.device(), cfg));
+  }
+  t.AddRow(price_row);
+
+  const struct {
+    const char* label;
+    IoType type;
+  } kRows[] = {{"Sequential Read (ms/IO)", IoType::kSeqRead},
+               {"Random Read (ms/IO)", IoType::kRandRead},
+               {"Sequential Write (ms/row)", IoType::kSeqWrite},
+               {"Random Write (ms/row)", IoType::kRandWrite}};
+  for (const auto& row : kRows) {
+    std::vector<std::string> cells = {row.label};
+    for (int i = 0; i < kNumStockClasses; ++i) {
+      cells.push_back(StrPrintf("%.3f (%.3f)",
+                                at1[i].per_request_ms[row.type],
+                                at300[i].per_request_ms[row.type]));
+    }
+    t.AddRow(cells);
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nRecomputed vs published prices (cents/GB/hour):\n";
+  TablePrinter p({"class", "recomputed", "published (Table 1)", "ratio"});
+  for (int i = 0; i < kNumStockClasses; ++i) {
+    const StockClass cls = static_cast<StockClass>(i);
+    const double mine =
+        MakeStockClass(cls).price_cents_per_gb_hour();
+    const double pub = PublishedPriceCentsPerGbHour(cls);
+    p.AddRow({StockClassName(cls), StrPrintf("%.3e", mine),
+              StrPrintf("%.3e", pub), StrPrintf("%.3f", mine / pub)});
+  }
+  p.Print(std::cout);
+  return 0;
+}

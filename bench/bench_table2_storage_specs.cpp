@@ -1,0 +1,51 @@
+// Reproduces Table 2: the physical specifications of the three base storage
+// devices, plus the §4.1 RAID controller line item and the derived
+// storage-class catalog.
+
+#include <iostream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "dot/dot.h"
+
+int main() {
+  using namespace dot;
+  std::cout << "=== Table 2: storage class specifications ===\n\n";
+
+  TablePrinter t({"", "HDD", "L-SSD", "H-SSD"});
+  const DeviceSpec& hdd = StockDeviceSpec(StockClass::kHdd);
+  const DeviceSpec& lssd = StockDeviceSpec(StockClass::kLssd);
+  const DeviceSpec& hssd = StockDeviceSpec(StockClass::kHssd);
+  auto row = [&](const char* label, auto get) {
+    t.AddRow({label, get(hdd), get(lssd), get(hssd)});
+  };
+  row("Brand & model", [](const DeviceSpec& d) { return d.brand_model; });
+  row("Flash type", [](const DeviceSpec& d) { return d.flash_type; });
+  row("Capacity", [](const DeviceSpec& d) {
+    return StrPrintf("%.0fGB", d.capacity_gb);
+  });
+  row("Interface", [](const DeviceSpec& d) { return d.interface; });
+  row("Purchase cost", [](const DeviceSpec& d) {
+    return StrPrintf("$%.0f", d.purchase_cost_cents / 100.0);
+  });
+  row("Power", [](const DeviceSpec& d) {
+    return StrPrintf("%.1f Watts", d.power_watts);
+  });
+  t.Print(std::cout);
+
+  const RaidControllerSpec& ctrl = StockRaidController();
+  std::cout << StrPrintf(
+      "\nRAID 0 groups: %d identical devices + controller ($%.0f, %.2f W)\n",
+      ctrl.devices_per_group, ctrl.cost_cents / 100.0, ctrl.power_watts);
+
+  std::cout << "\nDerived storage-class catalog (36-month amortization + "
+               "$0.07/kWh energy):\n";
+  TablePrinter c({"class", "capacity (GB)", "price (cents/GB/hour)"});
+  for (int i = 0; i < kNumStockClasses; ++i) {
+    const StorageClass sc = MakeStockClass(static_cast<StockClass>(i));
+    c.AddRow({sc.name(), StrPrintf("%.0f", sc.capacity_gb()),
+              StrPrintf("%.3e", sc.price_cents_per_gb_hour())});
+  }
+  c.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench/bench_tpch_figure.h"
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace dot {
+namespace bench {
+
+void RunTpchComparisonFigure(TpchVariant variant, double relative_sla,
+                             std::ostream& os) {
+  for (int box = 1; box <= 2; ++box) {
+    auto inst = Instance::Tpch(box, variant);
+    os << "\n--- " << inst->box().name << " (relative SLA "
+       << FormatSig(relative_sla, 3) << ") ---\n";
+    TablePrinter t({"layout", "response time (min)", "cost (cents/hour)",
+                    "TOC (cents/workload)", "PSR (%)"});
+
+    auto add = [&](const std::string& name,
+                   const std::vector<int>& placement) {
+      const Instance::Evaluation e =
+          inst->Evaluate(placement, relative_sla);
+      const double toc_workload =
+          e.layout_cost_cents_per_hour *
+          (e.estimate.elapsed_ms / (3600.0 * 1000.0));
+      t.AddRow({name, Minutes(e.estimate.elapsed_ms),
+                StrPrintf("%.4f", e.layout_cost_cents_per_hour),
+                StrPrintf("%.4f", toc_workload),
+                StrPrintf("%.0f", e.psr * 100.0)});
+    };
+
+    for (const NamedLayout& l :
+         MakeSimpleLayouts(inst->schema(), inst->box())) {
+      add(l.name, l.placement);
+    }
+    add("OA", ObjectAdvisorPlacement(inst->Problem(relative_sla)));
+    DotResult dot = inst->RunDot(relative_sla);
+    add("DOT", dot.placement);
+    t.Print(os);
+
+    const Instance::Evaluation hssd = inst->Evaluate(
+        UniformPlacement(inst->schema().NumObjects(),
+                         inst->box().MostExpensiveClass()),
+        relative_sla);
+    const Instance::Evaluation dot_eval =
+        inst->Evaluate(dot.placement, relative_sla);
+    const double saving =
+        (hssd.layout_cost_cents_per_hour * hssd.estimate.elapsed_ms) /
+        (dot_eval.layout_cost_cents_per_hour *
+         dot_eval.estimate.elapsed_ms);
+    os << StrPrintf("DOT TOC saving vs All H-SSD: %.2fx\n", saving);
+  }
+}
+
+void PrintDotLayouts(TpchVariant variant, double relative_sla,
+                     std::ostream& os) {
+  for (int box = 1; box <= 2; ++box) {
+    auto inst = Instance::Tpch(box, variant);
+    DotResult dot = inst->RunDot(relative_sla);
+    os << "\n--- DOT layout, " << inst->box().name << ", relative SLA "
+       << FormatSig(relative_sla, 3) << " ---\n"
+       << Layout(&inst->schema(), &inst->box(), dot.placement).ToString();
+  }
+}
+
+}  // namespace bench
+}  // namespace dot

@@ -1,0 +1,25 @@
+#ifndef DOTPROV_BENCH_BENCH_TPCH_FIGURE_H_
+#define DOTPROV_BENCH_BENCH_TPCH_FIGURE_H_
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace dot {
+namespace bench {
+
+/// Renders one Figure-3/5/7-style cost/performance comparison: for both
+/// boxes, the simple layouts of §4.2, the Object Advisor layout and the DOT
+/// layout, each with workload response time, layout cost, measured TOC and
+/// PSR (the number the paper prints in parentheses next to each label).
+void RunTpchComparisonFigure(TpchVariant variant, double relative_sla,
+                             std::ostream& os);
+
+/// Renders Figure-4/6-style DOT layout listings for both boxes.
+void PrintDotLayouts(TpchVariant variant, double relative_sla,
+                     std::ostream& os);
+
+}  // namespace bench
+}  // namespace dot
+
+#endif  // DOTPROV_BENCH_BENCH_TPCH_FIGURE_H_

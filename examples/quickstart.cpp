@@ -1,0 +1,81 @@
+// Quickstart: provision the TPC-H workload on the paper's Box 1 and print
+// the DOT-recommended layout next to the naive all-on-H-SSD one.
+//
+// Walks the full pipeline from §3 / Figure 2:
+//   storage catalog -> schema -> workload model -> profiling -> optimization.
+
+#include <cstdio>
+
+#include "dot/dot.h"
+
+int main() {
+  // 1. The storage subsystem: Box 1 = HDD RAID 0 + L-SSD + H-SSD (§4.1),
+  //    with prices recomputed from Table 2 via the §2.1 amortization model.
+  dot::BoxConfig box = dot::MakeBox1();
+  std::printf("Storage classes on %s:\n", box.name.c_str());
+  for (const dot::StorageClass& sc : box.classes) {
+    std::printf("  %-14s %7.1f GB  %.3g cents/GB/hour\n", sc.name().c_str(),
+                sc.capacity_gb(), sc.price_cents_per_gb_hour());
+  }
+
+  // 2. The database: TPC-H at scale factor 20 (~30 GB with indices).
+  dot::Schema schema = dot::MakeTpchSchema(/*scale_factor=*/20.0);
+  std::printf("\nDatabase: %d objects, %.1f GB total\n", schema.NumObjects(),
+              schema.TotalSizeGb());
+
+  // 3. The workload: the original 22 TPC-H templates, three instances each,
+  //    planned by the storage-aware optimizer.
+  dot::DssWorkloadModel workload(
+      "TPC-H", &schema, &box, dot::MakeTpchTemplates(),
+      dot::RepeatSequence(22, 3), dot::PlannerConfig{});
+
+  // 4. Profiling phase (§3.4): measure the workload's I/O on the baseline
+  //    layouts via the extended optimizer's estimates.
+  dot::Profiler profiler(&schema, &box);
+  dot::WorkloadProfiles profiles = profiler.ProfileWorkload(
+      workload, [&](const std::vector<int>& placement) {
+        return workload.Estimate(placement);
+      });
+
+  // 5. Optimization phase (§3.1): find the cheapest layout that keeps every
+  //    query within 2x of its all-H-SSD response time (relative SLA 0.5).
+  dot::DotProblem problem;
+  problem.schema = &schema;
+  problem.box = &box;
+  problem.workload = &workload;
+  problem.relative_sla = 0.5;
+  problem.profiles = &profiles;
+
+  dot::DotOptimizer optimizer(problem);
+  dot::DotResult result = optimizer.Optimize();
+  if (!result.status.ok()) {
+    std::printf("DOT: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  dot::Layout layout(&schema, &box, result.placement);
+  std::printf("\nDOT layout (relative SLA 0.5), %d layouts evaluated in"
+              " %.1f ms:\n%s",
+              result.layouts_evaluated, result.optimize_ms,
+              layout.ToString().c_str());
+
+  // Compare against the naive premium layout.
+  const int hssd = box.MostExpensiveClass();
+  dot::Layout all_hssd = dot::Layout::Uniform(&schema, &box, hssd);
+  dot::PerfEstimate best;
+  const double toc_hssd =
+      optimizer.EstimateToc(all_hssd.placement(), &best);
+
+  std::printf("\n%-22s %14s %16s %14s\n", "layout", "cents/hour",
+              "workload (min)", "TOC c/query");
+  std::printf("%-22s %14.4f %16.2f %14.4f\n", "All H-SSD",
+              all_hssd.CostCentsPerHour(problem.cost_model),
+              best.elapsed_ms / 60000.0, toc_hssd);
+  std::printf("%-22s %14.4f %16.2f %14.4f\n", "DOT",
+              result.layout_cost_cents_per_hour,
+              result.estimate.elapsed_ms / 60000.0,
+              result.toc_cents_per_task);
+  std::printf("\nTOC saving vs All H-SSD: %.2fx\n",
+              toc_hssd / result.toc_cents_per_task);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// DSS provisioning session: run DOT for the TPC-H workload with a
+// configurable box, workload variant and SLA, and print the recommended
+// layout, its economics, and the full validation pipeline outcome.
+//
+// Usage:
+//   tpch_advisor [--box 1|2] [--modified] [--sla 0.5] [--validate]
+//
+// Examples:
+//   tpch_advisor --box 1 --sla 0.5
+//   tpch_advisor --box 2 --modified --sla 0.25 --validate
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "dot/dot.h"
+
+namespace {
+
+struct Args {
+  int box = 1;
+  bool modified = false;
+  double sla = 0.5;
+  bool validate = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--box") == 0 && i + 1 < argc) {
+      args.box = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--modified") == 0) {
+      args.modified = true;
+    } else if (std::strcmp(argv[i], "--sla") == 0 && i + 1 < argc) {
+      args.sla = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
+      args.validate = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: tpch_advisor [--box 1|2] [--modified] "
+                   "[--sla S] [--validate]\n");
+      std::exit(2);
+    }
+  }
+  if ((args.box != 1 && args.box != 2) || args.sla <= 0 || args.sla > 1) {
+    std::fprintf(stderr, "invalid arguments\n");
+    std::exit(2);
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dot;
+  const Args args = ParseArgs(argc, argv);
+
+  BoxConfig box = args.box == 1 ? MakeBox1() : MakeBox2();
+  Schema schema = MakeTpchSchema(20.0);
+  DssWorkloadModel workload(
+      args.modified ? "TPC-H (modified)" : "TPC-H (original)", &schema,
+      &box,
+      args.modified ? MakeModifiedTpchTemplates() : MakeTpchTemplates(),
+      args.modified ? RepeatSequence(5, 20) : RepeatSequence(22, 3),
+      PlannerConfig{});
+
+  std::printf("Provisioning %s on %s at relative SLA %.3f\n",
+              workload.name().c_str(), box.name.c_str(), args.sla);
+
+  Profiler profiler(&schema, &box);
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      workload,
+      [&](const std::vector<int>& p) { return workload.Estimate(p); });
+
+  DotProblem problem;
+  problem.schema = &schema;
+  problem.box = &box;
+  problem.workload = &workload;
+  problem.relative_sla = args.sla;
+  problem.profiles = &profiles;
+
+  if (args.validate) {
+    // Full Figure 2 pipeline: optimization, then a (noisy) test run, with
+    // refinement on failure.
+    PipelineConfig cfg;
+    cfg.exec.noise_cv = 0.02;
+    PipelineResult result = RunDotPipeline(problem, cfg);
+    if (!result.final.status.ok()) {
+      std::printf("infeasible: %s\n",
+                  result.final.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nvalidated: %s after %zu round(s); measured PSR %.0f%%\n",
+                result.validated ? "yes" : "no", result.rounds.size(),
+                result.rounds.back().measured_psr * 100);
+    Layout layout(&schema, &box, result.final.placement);
+    std::printf("\n%s", layout.ToString().c_str());
+    return 0;
+  }
+
+  DotOptimizer optimizer(problem);
+  DotResult r = optimizer.Optimize();
+  if (!r.status.ok()) {
+    std::printf("infeasible: %s\n(lower --sla and retry)\n",
+                r.status.ToString().c_str());
+    return 1;
+  }
+
+  Layout layout(&schema, &box, r.placement);
+  std::printf("\nRecommended layout (%d candidates in %.1f ms):\n%s",
+              r.layouts_evaluated, r.optimize_ms,
+              layout.ToString().c_str());
+  std::printf("\nlayout cost:  %.4f cents/hour\n",
+              r.layout_cost_cents_per_hour);
+  std::printf("workload time: %.1f min (best case %.1f min)\n",
+              r.estimate.elapsed_ms / 60000.0,
+              r.targets.best_case.elapsed_ms / 60000.0);
+  std::printf("TOC:          %.5f cents/query\n", r.toc_cents_per_task);
+
+  const double toc_hssd = optimizer.EstimateToc(
+      UniformPlacement(schema.NumObjects(), box.MostExpensiveClass()),
+      nullptr);
+  std::printf("saving vs All H-SSD: %.2fx\n",
+              toc_hssd / r.toc_cents_per_task);
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "catalog/schema.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dot {
+
+namespace {
+
+// Conservative page-fill fraction for heap pages and index leaves.
+constexpr double kFillFactor = 0.9;
+// Per-entry overhead (item pointer + tuple header share) in index leaves.
+constexpr double kIndexEntryOverheadBytes = 16.0;
+
+}  // namespace
+
+double DbObject::pages() const {
+  return size_gb * kBytesPerGb / static_cast<double>(kPageBytes);
+}
+
+int Schema::AddTable(const std::string& name, double rows, double row_bytes) {
+  DOT_CHECK(rows > 0 && row_bytes > 0) << "bad table stats for " << name;
+  DOT_CHECK(FindObject(name) < 0) << "duplicate object name " << name;
+  DbObject o;
+  o.id = NumObjects();
+  o.name = name;
+  o.kind = ObjectKind::kTable;
+  o.num_rows = rows;
+  o.row_bytes = row_bytes;
+  o.table_id = o.id;
+  o.size_gb = rows * row_bytes / (kFillFactor * kBytesPerGb);
+  objects_.push_back(std::move(o));
+  return objects_.back().id;
+}
+
+int Schema::AddIndex(const std::string& name, int table_id, double key_bytes,
+                     ObjectKind kind) {
+  DOT_CHECK(kind == ObjectKind::kPrimaryIndex ||
+            kind == ObjectKind::kSecondaryIndex);
+  DOT_CHECK(FindObject(name) < 0) << "duplicate object name " << name;
+  const DbObject& table = object(table_id);
+  DOT_CHECK(table.kind == ObjectKind::kTable)
+      << "index " << name << " must reference a table";
+
+  const double entry_bytes = key_bytes + kIndexEntryOverheadBytes;
+  const double entries_per_leaf =
+      kFillFactor * static_cast<double>(kPageBytes) / entry_bytes;
+  const double leaf_pages = std::ceil(table.num_rows / entries_per_leaf);
+  // Inner fanout: separator key + child pointer per entry.
+  const double fanout =
+      kFillFactor * static_cast<double>(kPageBytes) / (key_bytes + 8.0);
+  int height = 1;  // the leaf level
+  double level_pages = leaf_pages;
+  while (level_pages > 1.0) {
+    level_pages = std::ceil(level_pages / fanout);
+    ++height;
+  }
+
+  DbObject o;
+  o.id = NumObjects();
+  o.name = name;
+  o.kind = kind;
+  o.table_id = table_id;
+  o.height = height;
+  o.leaf_pages = leaf_pages;
+  // Inner pages add roughly leaf_pages / fanout; include them in the size.
+  const double total_pages = leaf_pages * (1.0 + 1.0 / fanout) + height;
+  o.size_gb = total_pages * static_cast<double>(kPageBytes) / kBytesPerGb;
+  objects_.push_back(std::move(o));
+  return objects_.back().id;
+}
+
+int Schema::AddAuxiliary(const std::string& name, ObjectKind kind,
+                         double size_gb) {
+  DOT_CHECK(kind == ObjectKind::kTempSpace || kind == ObjectKind::kLog);
+  DOT_CHECK(size_gb > 0);
+  DOT_CHECK(FindObject(name) < 0) << "duplicate object name " << name;
+  DbObject o;
+  o.id = NumObjects();
+  o.name = name;
+  o.kind = kind;
+  o.size_gb = size_gb;
+  objects_.push_back(std::move(o));
+  return objects_.back().id;
+}
+
+const DbObject& Schema::object(int id) const {
+  DOT_CHECK(id >= 0 && id < NumObjects()) << "object id " << id
+                                          << " out of range";
+  return objects_[static_cast<size_t>(id)];
+}
+
+int Schema::FindObject(const std::string& name) const {
+  for (const DbObject& o : objects_) {
+    if (o.name == name) return o.id;
+  }
+  return -1;
+}
+
+std::vector<int> Schema::IndexesOf(int table_id) const {
+  std::vector<int> out;
+  for (const DbObject& o : objects_) {
+    if (o.IsIndex() && o.table_id == table_id) out.push_back(o.id);
+  }
+  return out;
+}
+
+int Schema::PrimaryIndexOf(int table_id) const {
+  for (const DbObject& o : objects_) {
+    if (o.kind == ObjectKind::kPrimaryIndex && o.table_id == table_id) {
+      return o.id;
+    }
+  }
+  return -1;
+}
+
+double Schema::TotalSizeGb() const {
+  double total = 0.0;
+  for (const DbObject& o : objects_) total += o.size_gb;
+  return total;
+}
+
+std::vector<ObjectGroup> Schema::MakeGroups() const {
+  std::vector<ObjectGroup> groups;
+  for (const DbObject& o : objects_) {
+    if (o.kind == ObjectKind::kTable) {
+      ObjectGroup g;
+      g.table_id = o.id;
+      g.members.push_back(o.id);
+      for (int idx : IndexesOf(o.id)) g.members.push_back(idx);
+      groups.push_back(std::move(g));
+    } else if (o.kind == ObjectKind::kTempSpace || o.kind == ObjectKind::kLog) {
+      ObjectGroup g;
+      g.table_id = -1;
+      g.members.push_back(o.id);
+      groups.push_back(std::move(g));
+    }
+  }
+  return groups;
+}
+
+Schema Schema::Subset(const std::vector<std::string>& names) const {
+  Schema out;
+  // First pass: tables, preserving relative order of `names`.
+  for (const std::string& name : names) {
+    const int id = FindObject(name);
+    DOT_CHECK(id >= 0) << "Subset: unknown object " << name;
+    const DbObject& o = object(id);
+    if (o.kind == ObjectKind::kTable) {
+      out.AddTable(o.name, o.num_rows, o.row_bytes);
+    }
+  }
+  // Second pass: everything else, remapped onto the new table ids.
+  for (const std::string& name : names) {
+    const DbObject& o = object(FindObject(name));
+    switch (o.kind) {
+      case ObjectKind::kTable:
+        break;  // done above
+      case ObjectKind::kPrimaryIndex:
+      case ObjectKind::kSecondaryIndex: {
+        const int new_table = out.FindObject(object(o.table_id).name);
+        DOT_CHECK(new_table >= 0)
+            << "Subset: index " << o.name << " included without its table";
+        // Re-derive with the same geometry by copying the original object
+        // and fixing up ids (avoids re-estimating from key bytes).
+        DbObject copy = o;
+        copy.id = out.NumObjects();
+        copy.table_id = new_table;
+        out.objects_.push_back(std::move(copy));
+        break;
+      }
+      case ObjectKind::kTempSpace:
+      case ObjectKind::kLog:
+        out.AddAuxiliary(o.name, o.kind, o.size_gb);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dot

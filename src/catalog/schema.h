@@ -1,0 +1,62 @@
+#ifndef DOTPROV_CATALOG_SCHEMA_H_
+#define DOTPROV_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/db_object.h"
+
+namespace dot {
+
+/// The set of placeable objects O = {o_1, ..., o_N} of one database
+/// instance, plus enough physical statistics (row counts, widths, index
+/// shapes) for the planner to cost access paths.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a table with `rows` rows of `row_bytes` bytes each. Returns its
+  /// object id.
+  int AddTable(const std::string& name, double rows, double row_bytes);
+
+  /// Adds a B+-tree index over `table_id` with keys of `key_bytes` bytes.
+  /// Index height and leaf page count are derived from the table cardinality
+  /// and page geometry. Returns the index's object id.
+  int AddIndex(const std::string& name, int table_id, double key_bytes,
+               ObjectKind kind = ObjectKind::kPrimaryIndex);
+
+  /// Adds an auxiliary object (temp space / log) of a fixed size.
+  int AddAuxiliary(const std::string& name, ObjectKind kind, double size_gb);
+
+  int NumObjects() const { return static_cast<int>(objects_.size()); }
+  const DbObject& object(int id) const;
+  const std::vector<DbObject>& objects() const { return objects_; }
+
+  /// Object id by name, or -1 if absent.
+  int FindObject(const std::string& name) const;
+
+  /// Ids of the indices defined on `table_id` (in insertion order).
+  std::vector<int> IndexesOf(int table_id) const;
+
+  /// Primary-key index id of `table_id`, or -1.
+  int PrimaryIndexOf(int table_id) const;
+
+  /// Σ s_i over all objects, in GB.
+  double TotalSizeGb() const;
+
+  /// The grouping(O) of §3.2: one group per table (table first, then its
+  /// indices), plus singleton groups for auxiliary objects.
+  std::vector<ObjectGroup> MakeGroups() const;
+
+  /// Restricts the schema to the named objects (and reindexes ids densely);
+  /// used by the §4.4.3 DOT-vs-ES experiments that operate on 8 of the 16
+  /// TPC-H objects. Unknown names abort.
+  Schema Subset(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<DbObject> objects_;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_CATALOG_SCHEMA_H_

@@ -1,0 +1,52 @@
+#include "catalog/tpcc_schema.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+namespace {
+
+/// Initial cardinalities per warehouse per the TPC-C specification, with
+/// approximate physical row widths. `item` is global (does not scale).
+struct TpccTableSpec {
+  const char* name;
+  double rows_per_wh;
+  bool global;
+  double row_bytes;
+  double pk_key_bytes;  ///< 0 = no primary index (history has none)
+};
+
+constexpr TpccTableSpec kTpccTables[] = {
+    {"warehouse", 1, false, 89, 4},
+    {"district", 10, false, 95, 8},
+    {"customer", 30'000, false, 655, 12},
+    {"history", 30'000, false, 46, 0},
+    {"new_order", 9'000, false, 8, 12},
+    {"orders", 30'000, false, 24, 12},
+    {"order_line", 300'000, false, 54, 16},
+    {"item", 100'000, true, 82, 4},
+    {"stock", 100'000, false, 306, 8},
+};
+
+}  // namespace
+
+Schema MakeTpccSchema(int warehouses) {
+  DOT_CHECK(warehouses >= 1);
+  Schema schema;
+  for (const TpccTableSpec& t : kTpccTables) {
+    const double rows =
+        t.global ? t.rows_per_wh : t.rows_per_wh * warehouses;
+    const int table_id = schema.AddTable(t.name, rows, t.row_bytes);
+    if (t.pk_key_bytes > 0) {
+      schema.AddIndex(std::string("pk_") + t.name, table_id, t.pk_key_bytes);
+    }
+  }
+  // DBT-2 secondary indices (the paper's Table 3 lists both).
+  schema.AddIndex("i_customer", schema.FindObject("customer"),
+                  /*key_bytes=*/20, ObjectKind::kSecondaryIndex);
+  schema.AddIndex("i_orders", schema.FindObject("orders"),
+                  /*key_bytes=*/12, ObjectKind::kSecondaryIndex);
+  return schema;
+}
+
+}  // namespace dot

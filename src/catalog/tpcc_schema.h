@@ -1,0 +1,20 @@
+#ifndef DOTPROV_CATALOG_TPCC_SCHEMA_H_
+#define DOTPROV_CATALOG_TPCC_SCHEMA_H_
+
+#include "catalog/schema.h"
+
+namespace dot {
+
+/// Builds the TPC-C schema as populated by DBT-2 for `warehouses` warehouses:
+/// the nine tables with standard initial cardinalities, the primary-key
+/// indices (named "pk_<table>" as in the paper's Table 3), and the two
+/// secondary indices DBT-2 creates (i_customer on customer last name and
+/// i_orders on orders customer id).
+///
+/// At 300 warehouses the footprint is ≈30 GB, matching §4.5 ("populated a
+/// 30GB (scale factor 300) TPC-C database").
+Schema MakeTpccSchema(int warehouses);
+
+}  // namespace dot
+
+#endif  // DOTPROV_CATALOG_TPCC_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "catalog/tpch_schema.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+namespace {
+
+/// Standard TPC-H cardinalities per unit scale factor and approximate row
+/// widths (bytes, computed from the schema's column datatypes).
+struct TpchTableSpec {
+  const char* name;
+  double rows_per_sf;
+  bool fixed;  ///< region/nation do not scale
+  double row_bytes;
+  double pk_key_bytes;
+};
+
+constexpr TpchTableSpec kTpchTables[] = {
+    {"region", 5, true, 124, 4},
+    {"nation", 25, true, 128, 4},
+    {"supplier", 10'000, false, 159, 4},
+    {"customer", 150'000, false, 179, 4},
+    {"part", 200'000, false, 155, 4},
+    {"partsupp", 800'000, false, 144, 8},
+    {"orders", 1'500'000, false, 104, 4},
+    {"lineitem", 6'000'000, false, 112, 8},
+};
+
+}  // namespace
+
+Schema MakeTpchSchema(double scale_factor) {
+  DOT_CHECK(scale_factor > 0);
+  Schema schema;
+  for (const TpchTableSpec& t : kTpchTables) {
+    const double rows = t.fixed ? t.rows_per_sf : t.rows_per_sf * scale_factor;
+    const int table_id = schema.AddTable(t.name, rows, t.row_bytes);
+    schema.AddIndex(std::string(t.name) + "_pkey", table_id, t.pk_key_bytes);
+  }
+  return schema;
+}
+
+Schema MakeTpchEsSubsetSchema(double scale_factor) {
+  Schema full = MakeTpchSchema(scale_factor);
+  return full.Subset({"lineitem", "orders", "customer", "part",
+                      "lineitem_pkey", "orders_pkey", "customer_pkey",
+                      "part_pkey"});
+}
+
+}  // namespace dot

@@ -1,0 +1,23 @@
+#ifndef DOTPROV_CATALOG_TPCH_SCHEMA_H_
+#define DOTPROV_CATALOG_TPCH_SCHEMA_H_
+
+#include "catalog/schema.h"
+
+namespace dot {
+
+/// Builds the TPC-H schema at the given scale factor: the eight tables with
+/// standard cardinalities (lineitem = 6M·SF rows, ...) and one primary-key
+/// B+-tree index per table, named "<table>_pkey" as PostgreSQL does (the
+/// paper's figures use the same names, e.g. "partsupp_pkey").
+///
+/// At SF 20 the total footprint is ≈30 GB, matching §4.4 ("a 30GB TPC-H
+/// database is generated (scale factor 20)").
+Schema MakeTpchSchema(double scale_factor);
+
+/// The eight objects used by the §4.4.3 DOT-vs-exhaustive-search experiment:
+/// lineitem, orders, customer, part and their primary indices.
+Schema MakeTpchEsSubsetSchema(double scale_factor);
+
+}  // namespace dot
+
+#endif  // DOTPROV_CATALOG_TPCH_SCHEMA_H_

@@ -1,0 +1,55 @@
+#ifndef DOTPROV_COMMON_CHECK_H_
+#define DOTPROV_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dot {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Used only via the DOT_CHECK macros below; never instantiate directly.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< sink so DOT_CHECK can appear in a ternary.
+struct Voidify {
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace dot
+
+/// Aborts with a message when `cond` is false. For programmer errors
+/// (precondition violations), not for recoverable conditions — those return
+/// Status. Enabled in all build types: provisioning decisions are made
+/// offline, so the cost is irrelevant and the safety is not.
+#define DOT_CHECK(cond)               \
+  (cond) ? (void)0                    \
+         : ::dot::internal::Voidify() & \
+               ::dot::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define DOT_CHECK_OK(status_expr)                                       \
+  do {                                                                  \
+    ::dot::Status _st = (status_expr);                                  \
+    DOT_CHECK(_st.ok()) << _st.ToString();                              \
+  } while (0)
+
+#endif  // DOTPROV_COMMON_CHECK_H_

@@ -1,0 +1,84 @@
+#ifndef DOTPROV_COMMON_RESULT_H_
+#define DOTPROV_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dot {
+
+/// Result<T> holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an errored
+/// Result aborts (programmer error); callers must check ok() first or use
+/// DOT_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    DOT_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    DOT_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    DOT_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    DOT_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+#define DOT_CONCAT_IMPL(a, b) a##b
+#define DOT_CONCAT(a, b) DOT_CONCAT_IMPL(a, b)
+}  // namespace internal
+
+/// DOT_ASSIGN_OR_RETURN(lhs, rexpr): evaluates `rexpr` (a Result<T>); on error
+/// returns the Status from the enclosing function, otherwise moves the value
+/// into `lhs` (which may be a declaration).
+#define DOT_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  DOT_ASSIGN_OR_RETURN_IMPL(DOT_CONCAT(_dot_result_, __LINE__), \
+                            lhs, rexpr)
+
+#define DOT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+}  // namespace dot
+
+#endif  // DOTPROV_COMMON_RESULT_H_

@@ -1,0 +1,81 @@
+#ifndef DOTPROV_COMMON_STATUS_H_
+#define DOTPROV_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dot {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCapacityExceeded,
+  kInfeasible,  ///< The optimizer could not find a constraint-satisfying layout.
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "Infeasible", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow-style status object: either OK or an error code plus message.
+///
+/// This library does not use exceptions; every fallible public API returns a
+/// Status or a Result<T> (see result.h). Statuses are cheap to copy in the OK
+/// case and carry a message string only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace dot
+
+/// Propagates an error Status from an expression, Arrow-style.
+#define DOT_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dot::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // DOTPROV_COMMON_STATUS_H_

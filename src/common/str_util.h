@@ -1,0 +1,29 @@
+#ifndef DOTPROV_COMMON_STR_UTIL_H_
+#define DOTPROV_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dot {
+
+/// Formats `value` with `digits` significant digits (scientific when the
+/// magnitude warrants), e.g. FormatSig(3.47e-4, 3) == "3.47e-04".
+std::string FormatSig(double value, int digits);
+
+/// Fixed-point formatting with `decimals` digits after the point.
+std::string FormatFixed(double value, int decimals);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace dot
+
+#endif  // DOTPROV_COMMON_STR_UTIL_H_

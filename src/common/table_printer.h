@@ -1,0 +1,41 @@
+#ifndef DOTPROV_COMMON_TABLE_PRINTER_H_
+#define DOTPROV_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dot {
+
+/// Renders column-aligned ASCII tables for the benchmark harnesses so that
+/// each bench binary can print the same rows/series the paper reports.
+///
+/// Usage:
+///   TablePrinter t({"layout", "TOC (cents)", "PSR (%)"});
+///   t.AddRow({"All H-SSD", "12.3", "100"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Writes the formatted table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Returns the formatted table as a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the sentinel single element "\x01" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_COMMON_TABLE_PRINTER_H_

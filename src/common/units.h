@@ -1,0 +1,46 @@
+#ifndef DOTPROV_COMMON_UNITS_H_
+#define DOTPROV_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace dot {
+
+/// Unit conventions used throughout the library.
+///
+///  * sizes        — gigabytes (double `Gb`), matching the paper's GB units;
+///                   page-level quantities use kPageBytes pages.
+///  * time         — milliseconds for single I/Os, hours for amortization.
+///  * money        — US cents (the paper reports cents/GB/hour).
+///  * power        — watts.
+///  * throughput   — tasks/hour (DSS) or transactions/minute (tpmC, OLTP).
+
+/// Database page size assumed by the planner (PostgreSQL default, 8 KiB).
+inline constexpr int64_t kPageBytes = 8192;
+
+/// Bytes per GB, decimal convention as used by device vendors and the paper.
+inline constexpr double kBytesPerGb = 1e9;
+
+/// Hours in the 36-month amortization window used by the paper (§2.1):
+/// 36 months x 730 hours/month.
+inline constexpr double kAmortizationHours = 36.0 * 730.0;
+
+/// Energy price from the paper (§2.1, citing Hamilton CIDR'09): $0.07/kWh,
+/// expressed in cents per watt-hour.
+inline constexpr double kCentsPerWattHour = 7.0 / 1000.0;
+
+inline constexpr double kMsPerHour = 3600.0 * 1000.0;
+inline constexpr double kMsPerMinute = 60.0 * 1000.0;
+
+/// Number of 8 KiB pages needed to store `gigabytes` of data.
+inline constexpr double PagesForGb(double gigabytes) {
+  return gigabytes * kBytesPerGb / static_cast<double>(kPageBytes);
+}
+
+/// Size in GB of `pages` database pages.
+inline constexpr double GbForPages(double pages) {
+  return pages * static_cast<double>(kPageBytes) / kBytesPerGb;
+}
+
+}  // namespace dot
+
+#endif  // DOTPROV_COMMON_UNITS_H_

@@ -1,0 +1,43 @@
+#ifndef DOTPROV_DOT_DOT_H_
+#define DOTPROV_DOT_DOT_H_
+
+/// Umbrella header: the public API of the DOT storage-provisioning library.
+///
+/// Typical use (see examples/quickstart.cpp):
+///   1. Describe the storage subsystem (BoxConfig) — MakeBox1()/MakeBox2()
+///      or your own classes with calibrated DeviceModels and prices.
+///   2. Describe the database objects (Schema) — MakeTpchSchema(),
+///      MakeTpccSchema(), or build your own.
+///   3. Describe the workload — a DssWorkloadModel over declarative query
+///      templates, or an OltpWorkloadModel over transaction footprints.
+///   4. Profile it (Profiler::ProfileWorkload), pick an SLA, and run
+///      DotOptimizer (or the full RunDotPipeline with validation and
+///      refinement).
+
+#include "catalog/schema.h"
+#include "catalog/tpcc_schema.h"
+#include "catalog/tpch_schema.h"
+#include "dot/exhaustive.h"
+#include "dot/layout.h"
+#include "dot/moves.h"
+#include "dot/object_advisor.h"
+#include "dot/optimizer.h"
+#include "dot/problem.h"
+#include "dot/provisioner.h"
+#include "dot/simple_layouts.h"
+#include "dot/sla.h"
+#include "dot/validator.h"
+#include "exec/executor.h"
+#include "io/device_model.h"
+#include "io/microbench.h"
+#include "query/planner.h"
+#include "storage/pricing.h"
+#include "storage/standard_catalog.h"
+#include "storage/storage_class.h"
+#include "workload/dss_workload.h"
+#include "workload/oltp_workload.h"
+#include "workload/profiler.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_queries.h"
+
+#endif  // DOTPROV_DOT_DOT_H_

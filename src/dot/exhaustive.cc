@@ -1,0 +1,83 @@
+#include "dot/exhaustive.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "dot/layout.h"
+#include "dot/sla.h"
+
+namespace dot {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DotResult ExhaustiveSearch(const DotProblem& problem,
+                           long long max_layouts) {
+  DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
+            problem.workload != nullptr);
+  const double start_ms = NowMs();
+  const int n = problem.schema->NumObjects();
+  const int m = problem.box->NumClasses();
+  const double total = std::pow(static_cast<double>(m), n);
+  DOT_CHECK(total <= static_cast<double>(max_layouts))
+      << "exhaustive search over " << total << " layouts exceeds the guard ("
+      << max_layouts << ")";
+
+  DotResult result;
+  result.targets =
+      problem.targets_override != nullptr
+          ? *problem.targets_override
+          : MakePerfTargets(*problem.workload, *problem.box, n,
+                            problem.relative_sla, problem.io_scale_hint);
+
+  DotOptimizer estimator(problem);  // reuse estimateTOC / targets
+  double best_toc = std::numeric_limits<double>::infinity();
+  bool feasible_found = false;
+
+  std::vector<int> placement(static_cast<size_t>(n), 0);
+  for (;;) {
+    result.layouts_evaluated += 1;
+    Layout layout(problem.schema, problem.box, placement);
+    if (layout.CheckCapacity().ok()) {
+      PerfEstimate est;
+      const double toc = estimator.EstimateToc(placement, &est);
+      if (MeetsTargets(est, result.targets)) {
+        feasible_found = true;
+        if (toc < best_toc) {
+          best_toc = toc;
+          result.placement = placement;
+          result.toc_cents_per_task = toc;
+          result.layout_cost_cents_per_hour =
+              layout.CostCentsPerHour(problem.cost_model);
+          result.estimate = std::move(est);
+        }
+      }
+    }
+    // Advance the M-ary odometer over object placements.
+    int digit = 0;
+    while (digit < n) {
+      if (++placement[static_cast<size_t>(digit)] < m) break;
+      placement[static_cast<size_t>(digit)] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+
+  if (!feasible_found) {
+    result.status = Status::Infeasible(
+        "no layout satisfies the capacity and SLA constraints");
+  }
+  result.optimize_ms = NowMs() - start_ms;
+  return result;
+}
+
+}  // namespace dot

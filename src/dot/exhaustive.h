@@ -1,0 +1,22 @@
+#ifndef DOTPROV_DOT_EXHAUSTIVE_H_
+#define DOTPROV_DOT_EXHAUSTIVE_H_
+
+#include "dot/optimizer.h"
+#include "dot/problem.h"
+
+namespace dot {
+
+/// The Exhaustive Search comparator (§4.4.3/§4.5.3): enumerates all M^N
+/// layouts and evaluates each with the same TOC and performance estimation
+/// as DOT, returning the feasible layout of minimum TOC (the true optimum
+/// of the §2.5 problem under the estimator). Exponential — only usable on
+/// small object sets, which is exactly the paper's point.
+///
+/// `max_layouts` guards against accidental explosion; the run aborts if
+/// M^N exceeds it.
+DotResult ExhaustiveSearch(const DotProblem& problem,
+                           long long max_layouts = 50'000'000);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_EXHAUSTIVE_H_

@@ -1,0 +1,104 @@
+#include "dot/layout.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace dot {
+
+Layout::Layout(const Schema* schema, const BoxConfig* box,
+               std::vector<int> placement)
+    : schema_(schema), box_(box), placement_(std::move(placement)) {
+  DOT_CHECK(schema_ != nullptr && box_ != nullptr);
+  DOT_CHECK(static_cast<int>(placement_.size()) == schema_->NumObjects())
+      << "layout must place every object";
+  for (int cls : placement_) {
+    DOT_CHECK(cls >= 0 && cls < box_->NumClasses())
+        << "invalid storage class " << cls;
+  }
+}
+
+Layout Layout::Uniform(const Schema* schema, const BoxConfig* box, int cls) {
+  DOT_CHECK(schema != nullptr && box != nullptr);
+  return Layout(schema, box,
+                std::vector<int>(static_cast<size_t>(schema->NumObjects()),
+                                 cls));
+}
+
+int Layout::ClassOf(int object_id) const {
+  DOT_CHECK(object_id >= 0 &&
+            object_id < static_cast<int>(placement_.size()));
+  return placement_[static_cast<size_t>(object_id)];
+}
+
+Layout Layout::WithMoves(const std::vector<int>& members,
+                         const std::vector<int>& classes) const {
+  DOT_CHECK(members.size() == classes.size());
+  std::vector<int> placement = placement_;
+  for (size_t i = 0; i < members.size(); ++i) {
+    DOT_CHECK(members[i] >= 0 &&
+              members[i] < static_cast<int>(placement.size()));
+    placement[static_cast<size_t>(members[i])] = classes[i];
+  }
+  return Layout(schema_, box_, std::move(placement));
+}
+
+SpaceUsage Layout::SpaceByClass() const {
+  SpaceUsage used(static_cast<size_t>(box_->NumClasses()), 0.0);
+  for (const DbObject& o : schema_->objects()) {
+    used[static_cast<size_t>(placement_[static_cast<size_t>(o.id)])] +=
+        o.size_gb;
+  }
+  return used;
+}
+
+Status Layout::CheckCapacity() const {
+  const SpaceUsage used = SpaceByClass();
+  for (int j = 0; j < box_->NumClasses(); ++j) {
+    const StorageClass& sc = box_->classes[static_cast<size_t>(j)];
+    if (used[static_cast<size_t>(j)] >= sc.capacity_gb()) {
+      return Status::CapacityExceeded(StrPrintf(
+          "%s: %.2f GB placed, capacity %.2f GB", sc.name().c_str(),
+          used[static_cast<size_t>(j)], sc.capacity_gb()));
+    }
+  }
+  return Status::OK();
+}
+
+double Layout::CapacityViolationGb() const {
+  const SpaceUsage used = SpaceByClass();
+  double violation = 0.0;
+  for (int j = 0; j < box_->NumClasses(); ++j) {
+    const double over = used[static_cast<size_t>(j)] -
+                        box_->classes[static_cast<size_t>(j)].capacity_gb();
+    if (over > 0.0) violation += over;
+  }
+  return violation;
+}
+
+double Layout::CostCentsPerHour(const CostModelSpec& spec) const {
+  return LayoutCostCentsPerHour(*box_, SpaceByClass(), spec);
+}
+
+std::string Layout::ToString() const {
+  std::ostringstream out;
+  const SpaceUsage used = SpaceByClass();
+  for (int j = 0; j < box_->NumClasses(); ++j) {
+    const StorageClass& sc = box_->classes[static_cast<size_t>(j)];
+    out << StrPrintf("%-14s (%6.2f GB): ", sc.name().c_str(),
+                     used[static_cast<size_t>(j)]);
+    bool first = true;
+    for (const DbObject& o : schema_->objects()) {
+      if (placement_[static_cast<size_t>(o.id)] != j) continue;
+      if (!first) out << ", ";
+      out << o.name;
+      first = false;
+    }
+    if (first) out << "(empty)";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dot

@@ -1,0 +1,66 @@
+#ifndef DOTPROV_DOT_LAYOUT_H_
+#define DOTPROV_DOT_LAYOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/pricing.h"
+#include "storage/storage_class.h"
+
+namespace dot {
+
+/// A data layout L : O → D (§2.2): an assignment of every database object
+/// to one of the box's storage classes.
+class Layout {
+ public:
+  /// `schema` and `box` must outlive the layout. `placement[o]` is the
+  /// storage-class index for object o.
+  Layout(const Schema* schema, const BoxConfig* box,
+         std::vector<int> placement);
+
+  /// Every object on storage class `cls`.
+  static Layout Uniform(const Schema* schema, const BoxConfig* box, int cls);
+
+  const std::vector<int>& placement() const { return placement_; }
+  const Schema& schema() const { return *schema_; }
+  const BoxConfig& box() const { return *box_; }
+
+  int ClassOf(int object_id) const;
+
+  /// Returns a copy with the objects of `members` moved to `classes`
+  /// (classes[i] applies to members[i]).
+  Layout WithMoves(const std::vector<int>& members,
+                   const std::vector<int>& classes) const;
+
+  /// S_j per storage class, GB.
+  SpaceUsage SpaceByClass() const;
+
+  /// OK iff Σ_{o on d_j} s_o < c_j for every class (§2.2).
+  Status CheckCapacity() const;
+
+  /// Total over-capacity volume Σ_j max(0, S_j - c_j) in GB; 0 iff the
+  /// layout fits. Used by the optimizer to march out of an over-full
+  /// initial layout (e.g. a capacity-capped premium class, §4.5.3).
+  double CapacityViolationGb() const;
+
+  /// C(L) in cents/hour under the chosen cost model.
+  double CostCentsPerHour(const CostModelSpec& spec) const;
+
+  /// Per-class object listing, the rendering of Figures 4/6 and Table 3.
+  std::string ToString() const;
+
+  bool operator==(const Layout& other) const {
+    return placement_ == other.placement_;
+  }
+
+ private:
+  const Schema* schema_;
+  const BoxConfig* box_;
+  std::vector<int> placement_;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_LAYOUT_H_

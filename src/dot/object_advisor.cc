@@ -1,0 +1,103 @@
+#include "dot/object_advisor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "dot/layout.h"
+#include "query/object_io.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+std::vector<int> ObjectAdvisorPlacement(const DotProblem& problem) {
+  DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
+            problem.workload != nullptr);
+  const Schema& schema = *problem.schema;
+  const BoxConfig& box = *problem.box;
+  const int m = box.NumClasses();
+  const double concurrency = problem.workload->concurrency();
+
+  // Cheapest class = OA's baseline home for all data.
+  int cheapest = 0;
+  for (int j = 1; j < m; ++j) {
+    if (box.classes[static_cast<size_t>(j)].price_cents_per_gb_hour() <
+        box.classes[static_cast<size_t>(cheapest)].price_cents_per_gb_hour()) {
+      cheapest = j;
+    }
+  }
+
+  // One profiling run on the baseline; these I/O counts are frozen — OA
+  // does not re-plan as it moves objects.
+  const PerfEstimate baseline = problem.workload->Estimate(
+      UniformPlacement(schema.NumObjects(), cheapest));
+
+  // Classes ordered fastest-first by the time they'd take to serve the
+  // whole baseline I/O mix.
+  std::vector<int> class_order(static_cast<size_t>(m));
+  std::iota(class_order.begin(), class_order.end(), 0);
+  IoVector total_io;
+  for (const IoVector& v : baseline.io_by_object) total_io += v;
+  std::sort(class_order.begin(), class_order.end(), [&](int a, int b) {
+    return box.classes[static_cast<size_t>(a)].device().TimeForMs(
+               total_io, concurrency) <
+           box.classes[static_cast<size_t>(b)].device().TimeForMs(
+               total_io, concurrency);
+  });
+
+  // Greedy promotion in benefit-density order.
+  struct Candidate {
+    int object_id;
+    double benefit_density;  // ms saved per GB when moved to the target
+    int target_cls;
+  };
+  std::vector<int> placement(static_cast<size_t>(schema.NumObjects()),
+                             cheapest);
+  std::vector<double> remaining_gb(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    remaining_gb[static_cast<size_t>(j)] =
+        box.classes[static_cast<size_t>(j)].capacity_gb();
+  }
+  // The baseline home must hold everything initially.
+  for (const DbObject& o : schema.objects()) {
+    remaining_gb[static_cast<size_t>(cheapest)] -= o.size_gb;
+  }
+
+  // For each object, its best promotion target is evaluated fastest-first;
+  // all candidates are then applied in descending benefit density.
+  std::vector<Candidate> candidates;
+  for (const DbObject& o : schema.objects()) {
+    const IoVector& chi = baseline.io_by_object[static_cast<size_t>(o.id)];
+    if (chi.IsZero()) continue;  // unused under baseline plans: no benefit
+    const double base_ms =
+        box.classes[static_cast<size_t>(cheapest)].device().TimeForMs(
+            chi, concurrency);
+    for (int target : class_order) {
+      if (target == cheapest) continue;
+      const double target_ms =
+          box.classes[static_cast<size_t>(target)].device().TimeForMs(
+              chi, concurrency);
+      const double saving = base_ms - target_ms;
+      if (saving <= 0.0) continue;
+      candidates.push_back({o.id, saving / o.size_gb, target});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.benefit_density > b.benefit_density;
+                   });
+
+  for (const Candidate& c : candidates) {
+    const size_t oid = static_cast<size_t>(c.object_id);
+    if (placement[oid] != cheapest) continue;  // already promoted
+    const DbObject& o = schema.object(c.object_id);
+    const size_t target = static_cast<size_t>(c.target_cls);
+    if (remaining_gb[target] <= o.size_gb) continue;  // does not fit
+    placement[oid] = c.target_cls;
+    remaining_gb[target] -= o.size_gb;
+    remaining_gb[static_cast<size_t>(cheapest)] += o.size_gb;
+  }
+  return placement;
+}
+
+}  // namespace dot

@@ -1,0 +1,28 @@
+#ifndef DOTPROV_DOT_OBJECT_ADVISOR_H_
+#define DOTPROV_DOT_OBJECT_ADVISOR_H_
+
+#include <vector>
+
+#include "dot/problem.h"
+
+namespace dot {
+
+/// The Object Advisor comparator (Canim et al. [10], as characterised in
+/// §4.2/§6): a performance-only, greedy object placer.
+///
+/// OA first collects the workload's I/O statistics on a single baseline —
+/// everything on the *cheapest* class (the HDD-resident starting point of
+/// the original system) — then ranks objects by estimated I/O-time saving
+/// per GB and promotes them to faster storage classes while capacity lasts.
+/// Two deliberate limitations vs. DOT, straight from the paper's critique:
+///   1. it maximises performance, not TOC — prices never enter the ranking;
+///   2. its profile is *not* layout-aware: the I/O counts were gathered
+///      under the baseline's plans, so an index that went unused there (the
+///      optimizer preferred sequential scans on slow storage) shows no
+///      benefit and is never promoted, even though promoting it would have
+///      flipped the plan.
+std::vector<int> ObjectAdvisorPlacement(const DotProblem& problem);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_OBJECT_ADVISOR_H_

@@ -1,0 +1,171 @@
+#include "dot/optimizer.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "dot/moves.h"
+
+namespace dot {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DotOptimizer::DotOptimizer(const DotProblem& problem) : problem_(problem) {
+  DOT_CHECK(problem_.schema != nullptr && problem_.box != nullptr &&
+            problem_.workload != nullptr)
+      << "DotProblem is missing a component";
+  // `profiles` is needed only by Optimize() (move scoring); EstimateToc and
+  // the exhaustive-search reuse of this class work without it.
+  targets_ = problem_.targets_override != nullptr
+                 ? *problem_.targets_override
+                 : MakePerfTargets(*problem_.workload, *problem_.box,
+                                   problem_.schema->NumObjects(),
+                                   problem_.relative_sla,
+                                   problem_.io_scale_hint);
+}
+
+double DotOptimizer::EstimateToc(const std::vector<int>& placement,
+                                 PerfEstimate* estimate_out) const {
+  const Layout layout(problem_.schema, problem_.box, placement);
+  PerfEstimate est = problem_.workload->EstimateWithIoScale(
+      placement, problem_.io_scale_hint);
+  const double cost = layout.CostCentsPerHour(problem_.cost_model);
+  DOT_CHECK(est.tasks_per_hour > 0) << "estimate produced zero throughput";
+  const double toc = cost / est.tasks_per_hour;
+  if (estimate_out != nullptr) *estimate_out = std::move(est);
+  return toc;
+}
+
+DotResult DotOptimizer::Optimize() const {
+  DOT_CHECK(problem_.profiles != nullptr)
+      << "Optimize() needs workload profiles from the profiling phase";
+  const double start_ms = NowMs();
+  DotResult result;
+  result.targets = targets_;
+
+  const int l0_class = problem_.box->MostExpensiveClass();
+  Layout current = Layout::Uniform(problem_.schema, problem_.box, l0_class);
+
+  double best_toc = std::numeric_limits<double>::infinity();
+  bool feasible_found = false;
+
+  // Working-layout state for the acceptance rule below.
+  double current_toc = std::numeric_limits<double>::infinity();
+  double current_violation = current.CapacityViolationGb();
+
+  // Evaluates a candidate; records it as L* when it is feasible and the
+  // cheapest so far. Returns the candidate's TOC (infinity if it violates
+  // any constraint).
+  auto evaluate = [&](const Layout& layout) {
+    result.layouts_evaluated += 1;
+    if (!layout.CheckCapacity().ok()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    PerfEstimate est;
+    const double toc = EstimateToc(layout.placement(), &est);
+    if (!MeetsTargets(est, targets_)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    feasible_found = true;
+    if (toc < best_toc) {
+      best_toc = toc;
+      result.placement = layout.placement();
+      result.toc_cents_per_task = toc;
+      result.layout_cost_cents_per_hour =
+          layout.CostCentsPerHour(problem_.cost_model);
+      result.estimate = std::move(est);
+    }
+    return toc;
+  };
+
+  // L0 itself is the first candidate (feasible unless a capacity cap on
+  // the premium class makes it over-full).
+  current_toc = evaluate(current);
+
+  // Procedure 1 walks the score-ordered move list, applying each move to
+  // the working layout when it helps. Two refinements over the literal
+  // pseudocode (documented in DESIGN.md):
+  //  * a feasible move is kept only if it does not increase the estimated
+  //    TOC of the working layout — otherwise later (worse-scored) moves of
+  //    the same group override earlier, better placements and the best
+  //    combination across groups never materializes;
+  //  * while the working layout is over capacity (capped premium class,
+  //    §4.5.3), moves that strictly shrink the violation are kept so the
+  //    walk can reach feasible space at all.
+  std::vector<ObjectGroup> groups;
+  if (problem_.group_objects) {
+    groups = problem_.schema->MakeGroups();
+  } else {
+    // Ablation: one singleton group per object — the per-object move
+    // enumeration of prior work that ignores table/index interaction.
+    for (const DbObject& o : problem_.schema->objects()) {
+      ObjectGroup g;
+      g.table_id = o.kind == ObjectKind::kTable ? o.id : -1;
+      g.members = {o.id};
+      groups.push_back(std::move(g));
+    }
+  }
+  const std::vector<Move> moves = EnumerateMoves(problem_, groups);
+  const int max_sweeps = std::max(1, problem_.max_sweeps);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool improved = false;
+    for (const Move& move : moves) {
+      const ObjectGroup& g = groups[static_cast<size_t>(move.group)];
+      Layout candidate = current.WithMoves(g.members, move.placement);
+      if (candidate == current) continue;
+      const double cand_violation = candidate.CapacityViolationGb();
+      const double cand_toc = evaluate(candidate);
+      bool accept;
+      if (problem_.acceptance == MoveAcceptance::kAnyFeasible) {
+        // Procedure 1 verbatim: keep every feasible move.
+        accept = std::isfinite(cand_toc);
+      } else {
+        // Sweep 0 accepts non-worsening moves (neutral moves open up later
+        // combinations); converging sweeps demand strict improvement.
+        accept = sweep == 0 ? cand_toc <= current_toc
+                            : cand_toc < current_toc * (1.0 - 1e-12);
+      }
+      accept = accept ||
+               (current_violation > 0.0 && cand_violation < current_violation);
+      if (accept) {
+        if (cand_toc < current_toc) improved = true;
+        current = std::move(candidate);
+        current_toc = cand_toc;
+        current_violation = cand_violation;
+      }
+    }
+    if (!improved && sweep > 0) break;
+  }
+
+  if (!feasible_found) {
+    result.status = Status::Infeasible(
+        "no enumerated layout satisfies the capacity and SLA constraints");
+  }
+  result.optimize_ms = NowMs() - start_ms;
+  return result;
+}
+
+DotResult OptimizeWithRelaxation(DotProblem& problem, double relax_factor,
+                                 double min_sla) {
+  DOT_CHECK(relax_factor > 0.0 && relax_factor < 1.0);
+  DOT_CHECK(min_sla > 0.0);
+  for (;;) {
+    DotOptimizer optimizer(problem);
+    DotResult result = optimizer.Optimize();
+    if (result.status.ok()) return result;
+    const double next_sla = problem.relative_sla * relax_factor;
+    if (next_sla < min_sla) return result;  // give up: still infeasible
+    problem.relative_sla = next_sla;
+  }
+}
+
+}  // namespace dot

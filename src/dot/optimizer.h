@@ -1,0 +1,76 @@
+#ifndef DOTPROV_DOT_OPTIMIZER_H_
+#define DOTPROV_DOT_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dot/layout.h"
+#include "dot/problem.h"
+#include "dot/sla.h"
+
+namespace dot {
+
+/// Outcome of one optimization run (DOT heuristic or exhaustive search).
+struct DotResult {
+  /// OK, or Infeasible when no enumerated layout met every constraint
+  /// (§3: "rather than returning a recommended layout, it may return an
+  /// answer marked as 'infeasible'").
+  Status status = Status::OK();
+
+  /// The recommended placement L*; meaningful only when status is OK.
+  std::vector<int> placement;
+
+  /// TOC of L*: C(L*) / T(L*, W), cents per task (§2.1).
+  double toc_cents_per_task = 0.0;
+
+  /// C(L*) in cents/hour.
+  double layout_cost_cents_per_hour = 0.0;
+
+  /// The workload estimate on L*.
+  PerfEstimate estimate;
+
+  /// The targets the run enforced (includes the best-case baseline).
+  PerfTargets targets;
+
+  /// Number of candidate layouts evaluated (|Δ|+1 for DOT, M^N for ES).
+  int layouts_evaluated = 0;
+
+  /// Wall-clock optimization time.
+  double optimize_ms = 0.0;
+};
+
+/// The heuristic optimization phase of DOT (Procedure 1): start from L0
+/// (everything on the most expensive class), apply the score-ordered move
+/// sequence from enumerateMoves one by one, keep every feasible layout,
+/// and return the feasible layout with the lowest estimated TOC.
+class DotOptimizer {
+ public:
+  explicit DotOptimizer(const DotProblem& problem);
+
+  DotResult Optimize() const;
+
+  /// estimateTOC(W, L): workload estimate and TOC in cents/task under the
+  /// problem's cost model (applies the refinement io_scale hint if set).
+  double EstimateToc(const std::vector<int>& placement,
+                     PerfEstimate* estimate_out) const;
+
+  /// The targets implied by the problem's relative SLA.
+  const PerfTargets& targets() const { return targets_; }
+
+ private:
+  DotProblem problem_;
+  PerfTargets targets_;
+};
+
+/// Repeatedly relaxes the relative SLA by `relax_factor` until `optimize`
+/// (run at that SLA) finds a feasible layout — the loop the paper applies
+/// when capacity and performance constraints conflict (§4.5.3, Figure 9:
+/// "we slightly relax the relative SLA and repeat the optimization").
+/// Returns the final result; `problem.relative_sla` is updated in place to
+/// the achieved SLA.
+DotResult OptimizeWithRelaxation(DotProblem& problem, double relax_factor,
+                                 double min_sla);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_OPTIMIZER_H_

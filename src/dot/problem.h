@@ -1,0 +1,74 @@
+#ifndef DOTPROV_DOT_PROBLEM_H_
+#define DOTPROV_DOT_PROBLEM_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "dot/sla.h"
+#include "storage/pricing.h"
+#include "storage/storage_class.h"
+#include "workload/profiler.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+/// How the optimizer decides whether to keep a move in the working layout
+/// (ablation knob; see DESIGN.md §3 and bench_ablation_heuristics).
+enum class MoveAcceptance {
+  /// Keep a feasible move only if it does not raise the working layout's
+  /// estimated TOC (our default refinement; reaches the paper's DOT≈ES
+  /// quality bands).
+  kTocNonWorsening,
+  /// Keep any feasible move — Procedure 1 exactly as printed. Later,
+  /// worse-scored moves of a group override earlier placements.
+  kAnyFeasible,
+};
+
+/// One instance of the §2.5 optimization problem: objects O (schema),
+/// storage classes D with prices P and capacities C (box), workload W with
+/// performance constraints T (workload model + relative SLA).
+struct DotProblem {
+  const Schema* schema = nullptr;
+  const BoxConfig* box = nullptr;
+  const WorkloadModel* workload = nullptr;
+
+  /// Performance constraint as a fraction of the best case (§2.4).
+  double relative_sla = 0.5;
+
+  /// Linear (§2.1) or discrete-sized (§5.2) layout cost.
+  CostModelSpec cost_model;
+
+  /// Workload profiles X from the profiling phase; drive move scoring.
+  const WorkloadProfiles* profiles = nullptr;
+
+  /// Per-object correction factors from the refinement phase (ratio of
+  /// measured to estimated I/O); empty on the first optimization round.
+  std::vector<double> io_scale_hint;
+
+  /// Optional absolute performance targets. When set, they replace the
+  /// targets derived from `relative_sla` on this box — the §5.1 generalized
+  /// provisioning problem needs one common constraint set T across all
+  /// candidate configurations, not per-box relative ones. Must outlive the
+  /// optimization run.
+  const PerfTargets* targets_override = nullptr;
+
+  // --- ablation knobs (defaults reproduce the full DOT method) ---
+
+  /// Move acceptance rule (see MoveAcceptance).
+  MoveAcceptance acceptance = MoveAcceptance::kTocNonWorsening;
+
+  /// true: enumerate placements per *object group* (table + its indices,
+  /// §3.2), capturing the plan interaction. false: per-object moves with
+  /// independence assumed everywhere — the simpler enumeration of prior
+  /// work [10] the paper argues against in §3.1.
+  bool group_objects = true;
+
+  /// Maximum passes over the sorted move list (1 = single pass, the
+  /// paper's literal procedure; >1 adds the hill-climbing convergence
+  /// sweeps).
+  int max_sweeps = 5;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_PROBLEM_H_

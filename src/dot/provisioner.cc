@@ -1,0 +1,31 @@
+#include "dot/provisioner.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace dot {
+
+ProvisioningResult ProvisionOverOptions(
+    const std::vector<ProvisioningOption>& options) {
+  DOT_CHECK(!options.empty()) << "no storage configurations to provision";
+  ProvisioningResult out;
+  double best_toc = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < options.size(); ++i) {
+    DotProblem problem = options[i].make_problem();
+    DotOptimizer optimizer(problem);
+    DotResult result = optimizer.Optimize();
+    const bool feasible = result.status.ok();
+    const double toc = result.toc_cents_per_task;
+    if (feasible && toc < best_toc) {
+      best_toc = toc;
+      out.best_option = static_cast<int>(i);
+      out.best_name = options[i].name;
+      out.best = result;
+    }
+    out.per_option.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace dot

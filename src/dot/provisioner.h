@@ -1,0 +1,42 @@
+#ifndef DOTPROV_DOT_PROVISIONER_H_
+#define DOTPROV_DOT_PROVISIONER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dot/optimizer.h"
+#include "dot/problem.h"
+
+namespace dot {
+
+/// One candidate storage configuration f_i of the generalized provisioning
+/// problem (§5.1), with everything DOT needs to evaluate a workload on it.
+/// The box/workload/profiles must outlive the provisioning run; the
+/// `make_problem` indirection lets callers rebuild per-box workload models
+/// (a DSS model binds to a box through its planner).
+struct ProvisioningOption {
+  std::string name;
+  std::function<DotProblem()> make_problem;
+};
+
+/// Result of provisioning over a configuration menu.
+struct ProvisioningResult {
+  /// Index into the options of the winner, or -1 if none was feasible.
+  int best_option = -1;
+  std::string best_name;
+  DotResult best;
+  /// Per-option DOT results, aligned with the input options.
+  std::vector<DotResult> per_option;
+};
+
+/// Solves the §5.1 generalized provisioning problem by running DOT on
+/// every storage-configuration option and returning the feasible
+/// configuration (plus layout) with the lowest TOC — the paper's suggested
+/// use of DOT for purchasing and capacity-planning decisions (§7).
+ProvisioningResult ProvisionOverOptions(
+    const std::vector<ProvisioningOption>& options);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_PROVISIONER_H_

@@ -1,0 +1,39 @@
+#include "dot/simple_layouts.h"
+
+#include "common/str_util.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+std::vector<NamedLayout> MakeSimpleLayouts(const Schema& schema,
+                                           const BoxConfig& box) {
+  std::vector<NamedLayout> layouts;
+  for (int j = 0; j < box.NumClasses(); ++j) {
+    NamedLayout l;
+    l.name = "All " + box.classes[static_cast<size_t>(j)].name();
+    l.placement = UniformPlacement(schema.NumObjects(), j);
+    layouts.push_back(std::move(l));
+  }
+
+  // "Index H-SSD Data L-SSD" (§4.2), when both classes exist.
+  int hssd = -1;
+  int lssd = -1;
+  for (int j = 0; j < box.NumClasses(); ++j) {
+    const std::string& name = box.classes[static_cast<size_t>(j)].name();
+    if (StartsWith(name, "H-SSD") && hssd < 0) hssd = j;
+    if (StartsWith(name, "L-SSD") && lssd < 0) lssd = j;
+  }
+  if (hssd >= 0 && lssd >= 0) {
+    NamedLayout l;
+    l.name = "Index H-SSD Data " +
+             box.classes[static_cast<size_t>(lssd)].name();
+    l.placement.resize(static_cast<size_t>(schema.NumObjects()));
+    for (const DbObject& o : schema.objects()) {
+      l.placement[static_cast<size_t>(o.id)] = o.IsIndex() ? hssd : lssd;
+    }
+    layouts.push_back(std::move(l));
+  }
+  return layouts;
+}
+
+}  // namespace dot

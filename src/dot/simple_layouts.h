@@ -1,0 +1,27 @@
+#ifndef DOTPROV_DOT_SIMPLE_LAYOUTS_H_
+#define DOTPROV_DOT_SIMPLE_LAYOUTS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/storage_class.h"
+
+namespace dot {
+
+/// A named placement, for the comparison figures.
+struct NamedLayout {
+  std::string name;
+  std::vector<int> placement;
+};
+
+/// The "simple" comparison layouts of §4.2 for one box: one uniform layout
+/// per storage class ("All <class>"), plus "Index H-SSD Data L-SSD" when
+/// the box carries both an H-SSD and an L-SSD variant (indices on the
+/// H-SSD, everything else on the L-SSD class).
+std::vector<NamedLayout> MakeSimpleLayouts(const Schema& schema,
+                                           const BoxConfig& box);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_SIMPLE_LAYOUTS_H_

@@ -1,0 +1,59 @@
+#include "dot/sla.h"
+
+#include "common/check.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+PerfTargets MakePerfTargets(const WorkloadModel& model, const BoxConfig& box,
+                            int num_objects, double relative_sla,
+                            const std::vector<double>& io_scale) {
+  DOT_CHECK(relative_sla > 0.0 && relative_sla <= 1.0)
+      << "relative SLA must be in (0, 1], got " << relative_sla;
+  PerfTargets targets;
+  targets.kind = model.sla_kind();
+  targets.relative_sla = relative_sla;
+  targets.best_case = model.EstimateWithIoScale(
+      UniformPlacement(num_objects, box.MostExpensiveClass()), io_scale);
+  if (targets.kind == SlaKind::kPerQueryResponseTime) {
+    targets.query_caps_ms.reserve(targets.best_case.unit_times_ms.size());
+    for (double best : targets.best_case.unit_times_ms) {
+      targets.query_caps_ms.push_back(best / relative_sla);
+    }
+  } else {
+    targets.min_tpmc = targets.best_case.tpmc * relative_sla;
+  }
+  return targets;
+}
+
+bool MeetsTargets(const PerfEstimate& est, const PerfTargets& targets,
+                  double tolerance) {
+  if (targets.kind == SlaKind::kPerQueryResponseTime) {
+    DOT_CHECK(est.unit_times_ms.size() == targets.query_caps_ms.size())
+        << "estimate/targets arity mismatch";
+    for (size_t i = 0; i < targets.query_caps_ms.size(); ++i) {
+      if (est.unit_times_ms[i] > targets.query_caps_ms[i] * (1 + tolerance)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return est.tpmc >= targets.min_tpmc * (1 - tolerance);
+}
+
+double Psr(const PerfEstimate& est, const PerfTargets& targets) {
+  if (targets.kind == SlaKind::kThroughput) {
+    return MeetsTargets(est, targets) ? 1.0 : 0.0;
+  }
+  DOT_CHECK(est.unit_times_ms.size() == targets.query_caps_ms.size())
+      << "estimate/targets arity mismatch";
+  if (targets.query_caps_ms.empty()) return 1.0;
+  int met = 0;
+  for (size_t i = 0; i < targets.query_caps_ms.size(); ++i) {
+    if (est.unit_times_ms[i] <= targets.query_caps_ms[i] * (1 + 1e-9)) ++met;
+  }
+  return static_cast<double>(met) /
+         static_cast<double>(targets.query_caps_ms.size());
+}
+
+}  // namespace dot

@@ -1,0 +1,50 @@
+#ifndef DOTPROV_DOT_SLA_H_
+#define DOTPROV_DOT_SLA_H_
+
+#include <vector>
+
+#include "storage/storage_class.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+/// Concrete performance targets T = {t_i} (§2.4), derived from a relative
+/// SLA: per-query response-time caps for DSS workloads, a tpmC floor for
+/// OLTP (§4.3).
+struct PerfTargets {
+  SlaKind kind = SlaKind::kPerQueryResponseTime;
+  double relative_sla = 0.5;
+
+  /// Response-time cap per run-sequence entry: best_time / relative_sla.
+  std::vector<double> query_caps_ms;
+
+  /// Throughput floor: best_tpmc * relative_sla.
+  double min_tpmc = 0.0;
+
+  /// The best-case estimate the caps were derived from (all objects on the
+  /// most expensive class, "typically the highest performing case", §4.3).
+  PerfEstimate best_case;
+};
+
+/// Derives targets for `model` on `box` at `relative_sla` ∈ (0, 1]: the
+/// best case is measured with every object on the box's most expensive
+/// storage class. `io_scale` (if non-empty) applies the refinement phase's
+/// per-object corrections so the baseline reflects the workload's actual
+/// I/O behaviour.
+PerfTargets MakePerfTargets(const WorkloadModel& model, const BoxConfig& box,
+                            int num_objects, double relative_sla,
+                            const std::vector<double>& io_scale = {});
+
+/// True iff `est` meets every target: all response-time caps (DSS) or the
+/// tpmC floor (OLTP). A small tolerance absorbs floating-point noise.
+bool MeetsTargets(const PerfEstimate& est, const PerfTargets& targets,
+                  double tolerance = 1e-9);
+
+/// Performance satisfaction ratio (§4.3): the fraction of queries meeting
+/// their caps. For throughput workloads this is 1.0 or 0.0 ("the throughput
+/// performance itself serves as such an indicator").
+double Psr(const PerfEstimate& est, const PerfTargets& targets);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_SLA_H_

@@ -1,0 +1,83 @@
+#include "dot/validator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dot/sla.h"
+#include "query/object_io.h"
+
+namespace dot {
+
+namespace {
+
+/// Measured-vs-targets check with tolerance headroom.
+bool MeasuredMeetsTargets(const PerfEstimate& measured,
+                          const PerfTargets& targets, double tolerance) {
+  return MeetsTargets(measured, targets, tolerance);
+}
+
+/// Per-object ratio of measured to estimated total I/O — the refinement
+/// phase's correction signal.
+std::vector<double> DeriveIoScale(const PerfEstimate& measured,
+                                  const PerfEstimate& estimated) {
+  const size_t n =
+      std::max(measured.io_by_object.size(), estimated.io_by_object.size());
+  std::vector<double> scale(n, 1.0);
+  for (size_t o = 0; o < n; ++o) {
+    const double est = o < estimated.io_by_object.size()
+                           ? estimated.io_by_object[o].Total()
+                           : 0.0;
+    const double meas =
+        o < measured.io_by_object.size() ? measured.io_by_object[o].Total()
+                                         : 0.0;
+    if (est > 0.0 && meas > 0.0) scale[o] = meas / est;
+  }
+  return scale;
+}
+
+}  // namespace
+
+PipelineResult RunDotPipeline(const DotProblem& problem,
+                              const PipelineConfig& config) {
+  DOT_CHECK(config.max_rounds >= 1);
+  PipelineResult out;
+
+  DotProblem working = problem;
+  Executor executor(problem.workload, config.exec);
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    DotOptimizer optimizer(working);
+    ValidationRound vr;
+    vr.recommendation = optimizer.Optimize();
+    if (!vr.recommendation.status.ok()) {
+      // Infeasible: surface it; the caller decides whether to relax the
+      // SLA (Figure 2's "Relax the performance constraints" edge).
+      out.final = std::move(vr.recommendation);
+      out.rounds.push_back(std::move(vr));
+      return out;
+    }
+
+    // Validation phase: test run on the recommended layout.
+    vr.measured = executor.Run(vr.recommendation.placement);
+    vr.passed = MeasuredMeetsTargets(vr.measured, optimizer.targets(),
+                                     config.validation_tolerance);
+    vr.measured_psr = Psr(vr.measured, optimizer.targets());
+
+    if (vr.passed) {
+      out.final = vr.recommendation;
+      out.validated = true;
+      out.rounds.push_back(std::move(vr));
+      return out;
+    }
+
+    // Refinement phase: feed the run's actual I/O statistics back into the
+    // optimization phase as per-object correction factors.
+    working.io_scale_hint =
+        DeriveIoScale(vr.measured, vr.recommendation.estimate);
+    out.final = vr.recommendation;
+    out.rounds.push_back(std::move(vr));
+  }
+  return out;
+}
+
+}  // namespace dot

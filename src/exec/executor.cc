@@ -1,0 +1,48 @@
+#include "exec/executor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dot {
+
+Executor::Executor(const WorkloadModel* model, ExecutorConfig config)
+    : model_(model), config_(std::move(config)), rng_(config_.seed) {
+  DOT_CHECK(model_ != nullptr);
+  DOT_CHECK(config_.noise_cv >= 0.0);
+  for (double s : config_.io_scale) DOT_CHECK(s >= 0.0);
+}
+
+PerfEstimate Executor::Run(const std::vector<int>& placement) {
+  PerfEstimate measured =
+      model_->EstimateWithIoScale(placement, config_.io_scale);
+
+  if (config_.noise_cv > 0.0) {
+    // Lognormal jitter with unit mean, applied per unit of work.
+    const double sigma2 = std::log(1.0 + config_.noise_cv * config_.noise_cv);
+    const double mu = -0.5 * sigma2;
+    const double sigma = std::sqrt(sigma2);
+    double total = 0.0;
+    for (double& t : measured.unit_times_ms) {
+      t *= std::exp(mu + sigma * rng_.NextGaussian());
+      total += t;
+    }
+    if (model_->sla_kind() == SlaKind::kPerQueryResponseTime) {
+      measured.elapsed_ms = total;
+      if (total > 0) {
+        measured.tasks_per_hour =
+            static_cast<double>(measured.unit_times_ms.size()) /
+            (total / kMsPerHour);
+      }
+    } else {
+      // Throughput workloads: jitter the rate directly.
+      const double jitter = std::exp(mu + sigma * rng_.NextGaussian());
+      measured.tpmc *= jitter;
+      measured.tasks_per_hour *= jitter;
+    }
+  }
+  return measured;
+}
+
+}  // namespace dot

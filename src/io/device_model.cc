@@ -1,0 +1,74 @@
+#include "io/device_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dot {
+
+namespace {
+constexpr double kMaxConcurrency = 300.0;
+}  // namespace
+
+DeviceModel::DeviceModel(std::string name,
+                         std::array<LatencyAnchors, kNumIoTypes> anchors)
+    : name_(std::move(name)), anchors_(anchors) {
+  for (const auto& a : anchors_) {
+    DOT_CHECK(a.at_c1_ms > 0 && a.at_c300_ms > 0)
+        << "device " << name_ << " has non-positive latency anchor";
+  }
+}
+
+double DeviceModel::LatencyMs(IoType type, double concurrency) const {
+  DOT_CHECK(concurrency >= 1.0) << "concurrency must be >= 1";
+  const LatencyAnchors& a = anchors_[static_cast<size_t>(type)];
+  const double c = std::min(concurrency, kMaxConcurrency);
+  const double exponent = std::log(c) / std::log(kMaxConcurrency);
+  return a.at_c1_ms * std::pow(a.at_c300_ms / a.at_c1_ms, exponent);
+}
+
+double DeviceModel::TimeForMs(const IoVector& counts,
+                              double concurrency) const {
+  double total = 0.0;
+  for (IoType t : kAllIoTypes) {
+    if (counts[t] != 0.0) total += counts[t] * LatencyMs(t, concurrency);
+  }
+  return total;
+}
+
+DeviceModel MakeRaid0(const DeviceModel& base, int stripes,
+                      const std::string& name) {
+  DOT_CHECK(stripes >= 1) << "RAID 0 needs at least one stripe";
+  if (stripes == 1) {
+    return DeviceModel(name, {base.anchors(IoType::kSeqRead),
+                              base.anchors(IoType::kRandRead),
+                              base.anchors(IoType::kSeqWrite),
+                              base.anchors(IoType::kRandWrite)});
+  }
+  const double k = static_cast<double>(stripes);
+  // Efficiency factors fitted to the measured 2-way pairs in Table 1:
+  //   HDD SR    0.072 -> 0.049  (x1.47 for k=2  => ~73% striping efficiency)
+  //   L-SSD SR  0.036 -> 0.021  (x1.71)
+  //   HDD RW    10.15 -> 11.55  (controller overhead roughly cancels spread)
+  //   L-SSD RW  62.01 -> 21.14  (x2.9: spreading relieves erase-block stalls)
+  // We use conservative middle-ground factors and document the derivation.
+  auto scaled = [&](IoType t, double speedup_per_stripe,
+                    double max_speedup) -> LatencyAnchors {
+    const LatencyAnchors& a = base.anchors(t);
+    const double speedup =
+        std::min(max_speedup, 1.0 + speedup_per_stripe * (k - 1.0));
+    return LatencyAnchors{a.at_c1_ms / speedup, a.at_c300_ms / speedup};
+  };
+  std::array<LatencyAnchors, kNumIoTypes> anchors{};
+  anchors[static_cast<size_t>(IoType::kSeqRead)] =
+      scaled(IoType::kSeqRead, 0.55, k);
+  anchors[static_cast<size_t>(IoType::kRandRead)] =
+      scaled(IoType::kRandRead, 0.10, 2.0);
+  anchors[static_cast<size_t>(IoType::kSeqWrite)] =
+      scaled(IoType::kSeqWrite, 0.40, k);
+  anchors[static_cast<size_t>(IoType::kRandWrite)] =
+      scaled(IoType::kRandWrite, 0.80, k);
+  return DeviceModel(name, anchors);
+}
+
+}  // namespace dot

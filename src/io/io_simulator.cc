@@ -1,0 +1,63 @@
+#include "io/io_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dot {
+
+IoSimulator::IoSimulator(std::vector<const DeviceModel*> devices)
+    : devices_(std::move(devices)) {
+  DOT_CHECK(!devices_.empty()) << "simulator needs at least one device";
+  for (const DeviceModel* d : devices_) DOT_CHECK(d != nullptr);
+}
+
+double IoSimulator::StreamTimeMs(const IoStream& stream,
+                                 double concurrency) const {
+  DOT_CHECK(stream.demands.size() <= devices_.size())
+      << "stream references unknown device";
+  double total = 0.0;
+  for (size_t d = 0; d < stream.demands.size(); ++d) {
+    total += devices_[d]->TimeForMs(stream.demands[d], concurrency);
+  }
+  return total;
+}
+
+IoSimResult IoSimulator::Run(const std::vector<IoStream>& streams,
+                             double noise_cv, Rng* rng) const {
+  DOT_CHECK(noise_cv == 0.0 || rng != nullptr)
+      << "noise requires an Rng";
+  const double concurrency = std::max<size_t>(streams.size(), 1);
+
+  IoSimResult result;
+  result.stream_ms.reserve(streams.size());
+  result.device_io.assign(devices_.size(), IoVector{});
+  result.device_busy_ms.assign(devices_.size(), 0.0);
+
+  // Lognormal with unit mean and coefficient of variation `noise_cv`.
+  const double sigma2 = std::log(1.0 + noise_cv * noise_cv);
+  const double mu = -0.5 * sigma2;
+  const double sigma = std::sqrt(sigma2);
+
+  for (const IoStream& stream : streams) {
+    DOT_CHECK(stream.demands.size() <= devices_.size())
+        << "stream references unknown device";
+    double stream_time = 0.0;
+    for (size_t d = 0; d < stream.demands.size(); ++d) {
+      double device_time =
+          devices_[d]->TimeForMs(stream.demands[d], concurrency);
+      if (noise_cv > 0.0 && device_time > 0.0) {
+        device_time *= std::exp(mu + sigma * rng->NextGaussian());
+      }
+      stream_time += device_time;
+      result.device_io[d] += stream.demands[d];
+      result.device_busy_ms[d] += device_time;
+    }
+    result.stream_ms.push_back(stream_time);
+    result.elapsed_ms = std::max(result.elapsed_ms, stream_time);
+  }
+  return result;
+}
+
+}  // namespace dot

@@ -1,0 +1,94 @@
+#ifndef DOTPROV_IO_IO_TYPES_H_
+#define DOTPROV_IO_IO_TYPES_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace dot {
+
+/// The four I/O access patterns the paper uses to model DBMS behaviour
+/// (§3.3): sequential read, random read, sequential write, random write.
+///
+/// Units follow Table 1: reads are costed per I/O (page) and writes per row,
+/// matching how the paper's microbenchmark calibrates devices end-to-end
+/// from inside the DBMS.
+enum class IoType {
+  kSeqRead = 0,
+  kRandRead = 1,
+  kSeqWrite = 2,
+  kRandWrite = 3,
+};
+
+inline constexpr int kNumIoTypes = 4;
+
+inline constexpr std::array<IoType, kNumIoTypes> kAllIoTypes = {
+    IoType::kSeqRead, IoType::kRandRead, IoType::kSeqWrite,
+    IoType::kRandWrite};
+
+/// Short label, e.g. "SR".
+inline const char* IoTypeName(IoType t) {
+  switch (t) {
+    case IoType::kSeqRead:
+      return "SR";
+    case IoType::kRandRead:
+      return "RR";
+    case IoType::kSeqWrite:
+      return "SW";
+    case IoType::kRandWrite:
+      return "RW";
+  }
+  return "??";
+}
+
+/// Per-I/O-type quantities (counts, times, ...). χ_r in the paper's notation
+/// when used as counts.
+struct IoVector {
+  std::array<double, kNumIoTypes> v{0.0, 0.0, 0.0, 0.0};
+
+  double& operator[](IoType t) { return v[static_cast<size_t>(t)]; }
+  double operator[](IoType t) const { return v[static_cast<size_t>(t)]; }
+
+  IoVector& operator+=(const IoVector& o) {
+    for (int i = 0; i < kNumIoTypes; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  friend IoVector operator+(IoVector a, const IoVector& b) { return a += b; }
+
+  IoVector& operator*=(double s) {
+    for (int i = 0; i < kNumIoTypes; ++i) v[i] *= s;
+    return *this;
+  }
+  friend IoVector operator*(IoVector a, double s) { return a *= s; }
+
+  double Total() const {
+    double t = 0;
+    for (double x : v) t += x;
+    return t;
+  }
+
+  bool IsZero() const {
+    for (double x : v) {
+      if (x != 0.0) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+inline std::string IoVector::ToString() const {
+  std::string out = "{";
+  for (int i = 0; i < kNumIoTypes; ++i) {
+    if (i) out += ", ";
+    out += IoTypeName(static_cast<IoType>(i));
+    out += "=";
+    out += std::to_string(v[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dot
+
+#endif  // DOTPROV_IO_IO_TYPES_H_

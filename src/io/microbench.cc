@@ -1,0 +1,80 @@
+#include "io/microbench.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "io/io_simulator.h"
+
+namespace dot {
+
+namespace {
+
+/// Builds `k` identical one-device streams with the given demand.
+std::vector<IoStream> ReplicateStreams(int k, const IoVector& demand) {
+  std::vector<IoStream> streams(static_cast<size_t>(k));
+  for (auto& s : streams) s.demands = {demand};
+  return streams;
+}
+
+}  // namespace
+
+MeasuredIoProfile RunDeviceMicrobench(const DeviceModel& device,
+                                      const MicrobenchConfig& config) {
+  DOT_CHECK(config.concurrency >= 1);
+  IoSimulator sim({&device});
+  Rng rng(config.seed);
+  const int k = config.concurrency;
+  MeasuredIoProfile out;
+
+  // --- Sequential read: one full scan of the per-thread table. ---
+  {
+    IoVector demand;
+    demand[IoType::kSeqRead] = config.table_pages;
+    IoSimResult r = sim.Run(ReplicateStreams(k, demand), config.noise_cv, &rng);
+    // Per-thread elapsed / per-thread request count, averaged over threads:
+    // total busy time / total requests.
+    out.per_request_ms[IoType::kSeqRead] =
+        r.device_busy_ms[0] / (config.table_pages * k);
+  }
+
+  // --- Random read: point lookups descend the index then fetch the row. ---
+  double rr_per_request = 0.0;
+  {
+    const double ios_per_query = config.index_height + 1.0;
+    IoVector demand;
+    demand[IoType::kRandRead] = config.point_queries * ios_per_query;
+    IoSimResult r = sim.Run(ReplicateStreams(k, demand), config.noise_cv, &rng);
+    rr_per_request =
+        r.device_busy_ms[0] / (config.point_queries * ios_per_query * k);
+    out.per_request_ms[IoType::kRandRead] = rr_per_request;
+  }
+
+  // --- Sequential write: single-row inserts, costed per row. ---
+  {
+    IoVector demand;
+    demand[IoType::kSeqWrite] = config.insert_rows;
+    IoSimResult r = sim.Run(ReplicateStreams(k, demand), config.noise_cv, &rng);
+    out.per_request_ms[IoType::kSeqWrite] = r.device_busy_ms[0] /
+                                            (config.insert_rows * k);
+  }
+
+  // --- Random write: update = random read (locate) + random write. The
+  // benchmark observes only the total elapsed time of the update stream and
+  // recovers RW by subtracting the RR estimate measured above. ---
+  {
+    const double reads_per_update = config.index_height + 1.0;
+    IoVector demand;
+    demand[IoType::kRandRead] = config.update_rows * reads_per_update;
+    demand[IoType::kRandWrite] = config.update_rows;
+    IoSimResult r = sim.Run(ReplicateStreams(k, demand), config.noise_cv, &rng);
+    const double elapsed_per_thread = r.device_busy_ms[0] / k;
+    const double rr_share =
+        rr_per_request * config.update_rows * reads_per_update;
+    out.per_request_ms[IoType::kRandWrite] =
+        (elapsed_per_thread - rr_share) / config.update_rows;
+  }
+
+  return out;
+}
+
+}  // namespace dot

@@ -1,0 +1,44 @@
+#ifndef DOTPROV_IO_MICROBENCH_H_
+#define DOTPROV_IO_MICROBENCH_H_
+
+#include "common/rng.h"
+#include "io/device_model.h"
+#include "io/io_types.h"
+
+namespace dot {
+
+/// Parameters of the §3.5.1 storage-class benchmark: K concurrent DB threads,
+/// each owning a private table A_i with a B+-tree primary-key index, issuing
+///   SR:  select count(*) from A_i              (full sequential scan)
+///   RR:  select count(*) from A_i where id = ? (index point lookups)
+///   SW:  insert into A_i ...                   (single-row inserts)
+///   RW:  update A_i set a = ? where id = ?     (random read + random write)
+struct MicrobenchConfig {
+  int concurrency = 1;         ///< K, the degree of concurrency
+  double table_pages = 4096;   ///< pages per per-thread table
+  int index_height = 3;        ///< B+-tree levels traversed per point lookup
+  int point_queries = 2000;    ///< RR queries issued per thread
+  int insert_rows = 2000;      ///< SW rows inserted per thread
+  int update_rows = 2000;      ///< RW update queries per thread
+  double noise_cv = 0.0;       ///< per-run multiplicative jitter
+  uint64_t seed = 42;
+};
+
+/// Effective per-request times recovered by the benchmark, directly
+/// comparable to one column of Table 1.
+struct MeasuredIoProfile {
+  IoVector per_request_ms;  ///< measured τ for SR/RR (per I/O), SW/RW (per row)
+};
+
+/// Runs the §3.5.1 calibration workload against `device` and recovers its
+/// effective I/O profile exactly the way the paper does:
+///  * SR / RR / SW: elapsed time divided by the number of requests;
+///  * RW: update queries bundle a random read with the random write, so the
+///    benchmark *subtracts the previously-measured RR time* from the update
+///    elapsed time before dividing (§3.5.1, "Write I/O").
+MeasuredIoProfile RunDeviceMicrobench(const DeviceModel& device,
+                                      const MicrobenchConfig& config);
+
+}  // namespace dot
+
+#endif  // DOTPROV_IO_MICROBENCH_H_

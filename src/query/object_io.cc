@@ -1,0 +1,48 @@
+#include "query/object_io.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+void AccumulateIo(ObjectIoMap& into, const ObjectIoMap& delta) {
+  if (into.size() < delta.size()) into.resize(delta.size());
+  for (size_t i = 0; i < delta.size(); ++i) into[i] += delta[i];
+}
+
+void ScaleIo(ObjectIoMap& io, double factor) {
+  for (IoVector& v : io) v *= factor;
+}
+
+double IoTimeShareMs(const ObjectIoMap& io, const std::vector<int>& placement,
+                     const BoxConfig& box, double concurrency) {
+  DOT_CHECK(io.size() <= placement.size())
+      << "placement does not cover all objects";
+  double total = 0.0;
+  for (size_t o = 0; o < io.size(); ++o) {
+    if (io[o].IsZero()) continue;
+    const int cls = placement[o];
+    DOT_CHECK(cls >= 0 && cls < box.NumClasses())
+        << "object " << o << " has invalid placement " << cls;
+    total += box.classes[static_cast<size_t>(cls)].device().TimeForMs(
+        io[o], concurrency);
+  }
+  return total;
+}
+
+double IoTimeShareMs(const ObjectIoMap& io, const std::vector<int>& placement,
+                     const BoxConfig& box, double concurrency,
+                     const std::vector<int>& members) {
+  double total = 0.0;
+  for (int o : members) {
+    const size_t idx = static_cast<size_t>(o);
+    if (idx >= io.size() || io[idx].IsZero()) continue;
+    const int cls = placement[idx];
+    DOT_CHECK(cls >= 0 && cls < box.NumClasses())
+        << "object " << o << " has invalid placement " << cls;
+    total += box.classes[static_cast<size_t>(cls)].device().TimeForMs(
+        io[idx], concurrency);
+  }
+  return total;
+}
+
+}  // namespace dot

@@ -1,0 +1,55 @@
+#include "query/plan.h"
+
+#include <sstream>
+
+#include "catalog/schema.h"
+#include "common/str_util.h"
+
+namespace dot {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kSeqScan:
+      return "SeqScan";
+    case PlanOp::kIndexScan:
+      return "IndexScan";
+    case PlanOp::kHashJoin:
+      return "HashJoin";
+    case PlanOp::kIndexNLJoin:
+      return "IndexNLJoin";
+    case PlanOp::kSort:
+      return "Sort";
+    case PlanOp::kAggregate:
+      return "Aggregate";
+  }
+  return "?";
+}
+
+namespace {
+
+void RenderNode(const PlanNode& node, const Schema& schema, int depth,
+                std::ostringstream& out) {
+  out << std::string(static_cast<size_t>(depth) * 2, ' ') << "-> "
+      << PlanOpName(node.op);
+  if (node.object_id >= 0) {
+    out << " on " << schema.object(node.object_id).name;
+  }
+  out << StrPrintf("  (rows=%.0f io=%.2fms cpu=%.2fms)", node.output_rows,
+                   node.io_ms, node.cpu_ms);
+  out << "\n";
+  for (const auto& child : node.children) {
+    RenderNode(*child, schema, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Plan::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << StrPrintf("Plan: time=%.2fms (io=%.2f cpu=%.2f), joins=%d (INLJ=%d)\n",
+                   time_ms, io_ms, cpu_ms, num_joins, num_index_nl_joins);
+  if (root != nullptr) RenderNode(*root, schema, 0, out);
+  return out.str();
+}
+
+}  // namespace dot

@@ -1,0 +1,64 @@
+#ifndef DOTPROV_QUERY_PLAN_H_
+#define DOTPROV_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/object_io.h"
+
+namespace dot {
+
+class Schema;
+
+/// Physical operators the planner chooses among.
+enum class PlanOp {
+  kSeqScan,
+  kIndexScan,
+  kHashJoin,
+  kIndexNLJoin,
+  kSort,
+  kAggregate,
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// A node of a chosen physical plan. The tree is left-deep: joins have the
+/// running pipeline as child 0 and the inner access as child 1.
+struct PlanNode {
+  PlanOp op;
+  /// Scanned object id for scans (table for kSeqScan; for kIndexScan the
+  /// index id, with the heap fetches charged to the table in `io`). -1 for
+  /// joins/sort/agg.
+  int object_id = -1;
+  double output_rows = 0.0;
+  /// Estimated I/O time of this node alone, ms, at the planning concurrency.
+  double io_ms = 0.0;
+  /// Estimated CPU time of this node alone, ms.
+  double cpu_ms = 0.0;
+  /// Per-object I/O issued by this node alone.
+  ObjectIoMap io;
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+/// A complete plan for one query under one specific layout.
+struct Plan {
+  std::unique_ptr<PlanNode> root;
+  /// Total estimated response time (I/O + CPU) in ms.
+  double time_ms = 0.0;
+  double io_ms = 0.0;
+  double cpu_ms = 0.0;
+  /// Aggregated per-object I/O counts for the whole query — the planner-
+  /// estimated workload profile entries χ_r[o] (§3.4 option (a)).
+  ObjectIoMap io_by_object;
+  /// Join-method census for the §4.4.2 INLJ-share observations.
+  int num_joins = 0;
+  int num_index_nl_joins = 0;
+
+  /// EXPLAIN-style indented rendering.
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_QUERY_PLAN_H_

@@ -1,0 +1,69 @@
+#ifndef DOTPROV_QUERY_QUERY_SPEC_H_
+#define DOTPROV_QUERY_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace dot {
+
+/// Declarative description of how one query accesses a base relation.
+///
+/// Queries are modeled at the level the paper's extended optimizer consumes
+/// them: which tables are touched, how selective the predicates are, and
+/// whether a predicate is answerable through the primary-key index. This is
+/// sufficient for the planner to reproduce the access-path and join-method
+/// decisions whose interaction with data placement the paper studies (§3.1,
+/// §3.5, §4.4.2).
+struct RelationAccess {
+  std::string table;
+
+  /// Fraction of the table's rows surviving the local predicate(s).
+  double selectivity = 1.0;
+
+  /// True when the predicate is sargable on the primary-key index (e.g.
+  /// `id > A and id < B`), making an index scan a candidate access path.
+  bool index_sargable = false;
+
+  /// Correlation between index order and heap order in [0, 1]. The paper
+  /// shuffles every table so that heap order is uncorrelated with key order
+  /// (§4.4), hence the default 0: each matching row costs one random heap
+  /// page fetch.
+  double clustering = 0.0;
+};
+
+/// One join step in the left-deep pipeline: joins the running outer result
+/// with `relations[i+1]`.
+struct JoinStep {
+  /// Matching inner rows per outer row (≈1.0 for FK→PK joins; can exceed 1
+  /// for PK→FK expansion, e.g. orders→lineitem yields ~4).
+  double matches_per_outer = 1.0;
+
+  /// True when the inner relation has an index usable for the join key, so
+  /// an indexed nested-loop join is a candidate.
+  bool inner_indexable = false;
+};
+
+/// A query template q: base-relation accesses joined left-deep in order,
+/// followed by optional sort/aggregation work.
+struct QuerySpec {
+  std::string name;
+
+  std::vector<RelationAccess> relations;
+
+  /// joins[i] combines the running outer (relations[0..i]) with
+  /// relations[i+1]; size must be relations.size() - 1 (or 0 for a single
+  /// relation).
+  std::vector<JoinStep> joins;
+
+  /// True when the query needs a sort (order by / group by above hash size);
+  /// sorts may spill to temp space if the input exceeds work_mem.
+  bool has_sort = false;
+
+  /// Extra CPU weight for expression-heavy queries (multiplier on the
+  /// per-row CPU cost; 1.0 = plain).
+  double cpu_weight = 1.0;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_QUERY_QUERY_SPEC_H_

@@ -1,0 +1,79 @@
+#include "storage/pricing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dot {
+
+double PriceCentsPerGbHour(double purchase_cost_cents, double power_watts,
+                           double capacity_gb) {
+  DOT_CHECK(capacity_gb > 0);
+  DOT_CHECK(purchase_cost_cents >= 0);
+  DOT_CHECK(power_watts >= 0);
+  const double amortized = purchase_cost_cents / kAmortizationHours;
+  const double energy = power_watts * kCentsPerWattHour;
+  return (amortized + energy) / capacity_gb;
+}
+
+double Raid0PriceCentsPerGbHour(const DeviceSpec& device, int num_devices,
+                                double controller_cost_cents,
+                                double controller_watts) {
+  DOT_CHECK(num_devices >= 1);
+  const double purchase =
+      device.purchase_cost_cents * num_devices + controller_cost_cents;
+  const double power = device.power_watts * num_devices + controller_watts;
+  const double capacity = device.capacity_gb * num_devices;
+  return PriceCentsPerGbHour(purchase, power, capacity);
+}
+
+double LinearLayoutCostCentsPerHour(const BoxConfig& box,
+                                    const SpaceUsage& used_gb) {
+  DOT_CHECK(used_gb.size() == box.classes.size())
+      << "space usage arity mismatch";
+  double cost = 0.0;
+  for (size_t j = 0; j < used_gb.size(); ++j) {
+    DOT_CHECK(used_gb[j] >= 0) << "negative space usage";
+    cost += box.classes[j].price_cents_per_gb_hour() * used_gb[j];
+  }
+  return cost;
+}
+
+double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
+                                      const SpaceUsage& used_gb,
+                                      double alpha) {
+  DOT_CHECK(used_gb.size() == box.classes.size())
+      << "space usage arity mismatch";
+  DOT_CHECK(alpha >= 0.0 && alpha <= 1.0) << "alpha must be in [0,1]";
+  double cost = 0.0;
+  for (size_t j = 0; j < used_gb.size(); ++j) {
+    DOT_CHECK(used_gb[j] >= 0) << "negative space usage";
+    if (used_gb[j] == 0.0) continue;  // unused class: device not purchased
+    const StorageClass& sc = box.classes[j];
+    const double unit_gb = sc.capacity_gb();
+    const double units = std::ceil(used_gb[j] / unit_gb);
+    const double full_unit_cost =
+        sc.price_cents_per_gb_hour() * unit_gb;  // p_j * c_j
+    const double discrete = units * full_unit_cost;
+    const double linear = sc.price_cents_per_gb_hour() * used_gb[j];
+    cost += alpha * discrete + (1.0 - alpha) * linear;
+  }
+  return cost;
+}
+
+double LayoutCostCentsPerHour(const BoxConfig& box, const SpaceUsage& used_gb,
+                              const CostModelSpec& spec) {
+  return spec.discrete
+             ? DiscreteLayoutCostCentsPerHour(box, used_gb, spec.alpha)
+             : LinearLayoutCostCentsPerHour(box, used_gb);
+}
+
+double WorkloadTocCents(double layout_cost_cents_per_hour,
+                        double elapsed_ms) {
+  DOT_CHECK(layout_cost_cents_per_hour >= 0);
+  DOT_CHECK(elapsed_ms >= 0);
+  return layout_cost_cents_per_hour * (elapsed_ms / kMsPerHour);
+}
+
+}  // namespace dot

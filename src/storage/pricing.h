@@ -1,0 +1,53 @@
+#ifndef DOTPROV_STORAGE_PRICING_H_
+#define DOTPROV_STORAGE_PRICING_H_
+
+#include <vector>
+
+#include "storage/storage_class.h"
+
+namespace dot {
+
+/// Amortized storage price in cents/GB/hour (§2.1): purchase cost spread
+/// over 36 months plus run-time energy at $0.07/kWh, divided by capacity.
+double PriceCentsPerGbHour(double purchase_cost_cents, double power_watts,
+                           double capacity_gb);
+
+/// Price of a RAID-0 group of `num_devices` identical devices plus the
+/// controller (§4.1: $110 Dell SAS6/iR drawing 8.25 W).
+double Raid0PriceCentsPerGbHour(const DeviceSpec& device, int num_devices,
+                                double controller_cost_cents,
+                                double controller_watts);
+
+/// Space usage per storage class, S_j in GB (§2.1).
+using SpaceUsage = std::vector<double>;
+
+/// Linear layout cost (§2.1): C(L) = Σ_j p_j · S_j, in cents/hour.
+double LinearLayoutCostCentsPerHour(const BoxConfig& box,
+                                    const SpaceUsage& used_gb);
+
+/// Discrete-sized layout cost (§5.2):
+///   C(L) = Σ_j [ α·(p_j·c_j·n_j) + (1-α)·p_j·S_j ]
+/// where n_j = ceil(S_j / c_j) is the number of discrete units of class j the
+/// layout occupies (0 units ⇒ the device need not be bought at all). α=0
+/// recovers the linear model; α=1 charges for whole devices only.
+double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
+                                      const SpaceUsage& used_gb, double alpha);
+
+/// Workload cost, i.e. the TOC (§2.1/§2.3): layout cost (cents/hour) times
+/// workload execution time, yielding cents per workload execution.
+double WorkloadTocCents(double layout_cost_cents_per_hour, double elapsed_ms);
+
+/// Which layout-cost model a DOT run charges: the paper's default linear
+/// model (§2.1) or the discrete-sized extension (§5.2) with its α blend.
+struct CostModelSpec {
+  bool discrete = false;
+  double alpha = 0.5;  ///< weight of the discrete component; ignored if linear
+};
+
+/// Dispatches to the linear or discrete layout cost.
+double LayoutCostCentsPerHour(const BoxConfig& box, const SpaceUsage& used_gb,
+                              const CostModelSpec& spec);
+
+}  // namespace dot
+
+#endif  // DOTPROV_STORAGE_PRICING_H_

@@ -1,0 +1,143 @@
+#include "storage/standard_catalog.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "storage/pricing.h"
+
+namespace dot {
+
+namespace {
+
+// Table 2 specs. Costs are cents; power is the average of read/write
+// dissipation as the paper derives it.
+const DeviceSpec kHddSpec = {
+    /*brand_model=*/"WD Caviar Black", /*flash_type=*/"N/A",
+    /*capacity_gb=*/500.0, /*interface=*/"SATA II",
+    /*purchase_cost_cents=*/34.0 * 100.0, /*power_watts=*/8.3};
+
+const DeviceSpec kLssdSpec = {
+    /*brand_model=*/"Imation M-Class 2.5\"", /*flash_type=*/"MLC",
+    /*capacity_gb=*/128.0, /*interface=*/"SATA II",
+    /*purchase_cost_cents=*/253.0 * 100.0, /*power_watts=*/2.5};
+
+const DeviceSpec kHssdSpec = {
+    /*brand_model=*/"Fusion IO ioDrive", /*flash_type=*/"SLC",
+    /*capacity_gb=*/80.0, /*interface=*/"PCI-Express",
+    /*purchase_cost_cents=*/3550.0 * 100.0, /*power_watts=*/10.5};
+
+// Table 1 latency anchors: {c=1, c=300} per I/O type, in ms per I/O for
+// reads and ms per row for writes.
+struct StockAnchors {
+  LatencyAnchors sr, rr, sw, rw;
+};
+
+constexpr std::array<StockAnchors, kNumStockClasses> kStockAnchors = {{
+    // HDD
+    {{0.072, 0.174}, {13.32, 8.903}, {0.012, 0.039}, {10.15, 8.124}},
+    // HDD RAID 0
+    {{0.049, 0.096}, {12.19, 2.712}, {0.011, 0.034}, {11.55, 3.770}},
+    // L-SSD
+    {{0.036, 0.053}, {1.759, 1.468}, {0.020, 0.341}, {62.01, 37.45}},
+    // L-SSD RAID 0
+    {{0.021, 0.037}, {1.570, 0.826}, {0.013, 0.082}, {21.14, 17.71}},
+    // H-SSD
+    {{0.016, 0.013}, {0.091, 0.024}, {0.009, 0.025}, {0.928, 0.986}},
+}};
+
+constexpr std::array<double, kNumStockClasses> kPublishedPrices = {
+    3.47e-4, 8.19e-4, 7.65e-3, 9.51e-3, 1.69e-1};
+
+constexpr std::array<const char*, kNumStockClasses> kStockNames = {
+    "HDD", "HDD RAID 0", "L-SSD", "L-SSD RAID 0", "H-SSD"};
+
+DeviceModel MakeStockDeviceModel(StockClass c) {
+  const StockAnchors& a = kStockAnchors[static_cast<size_t>(c)];
+  std::array<LatencyAnchors, kNumIoTypes> anchors{};
+  anchors[static_cast<size_t>(IoType::kSeqRead)] = a.sr;
+  anchors[static_cast<size_t>(IoType::kRandRead)] = a.rr;
+  anchors[static_cast<size_t>(IoType::kSeqWrite)] = a.sw;
+  anchors[static_cast<size_t>(IoType::kRandWrite)] = a.rw;
+  return DeviceModel(StockClassName(c), anchors);
+}
+
+}  // namespace
+
+const DeviceSpec& StockDeviceSpec(StockClass c) {
+  switch (c) {
+    case StockClass::kHdd:
+    case StockClass::kHddRaid0:
+      return kHddSpec;
+    case StockClass::kLssd:
+    case StockClass::kLssdRaid0:
+      return kLssdSpec;
+    case StockClass::kHssd:
+      return kHssdSpec;
+  }
+  DOT_CHECK(false) << "unknown stock class";
+  return kHddSpec;
+}
+
+const RaidControllerSpec& StockRaidController() {
+  static const RaidControllerSpec kController;
+  return kController;
+}
+
+const char* StockClassName(StockClass c) {
+  return kStockNames[static_cast<size_t>(c)];
+}
+
+double PublishedPriceCentsPerGbHour(StockClass c) {
+  return kPublishedPrices[static_cast<size_t>(c)];
+}
+
+StorageClass MakeStockClass(StockClass c) {
+  const DeviceSpec& spec = StockDeviceSpec(c);
+  const bool is_raid =
+      c == StockClass::kHddRaid0 || c == StockClass::kLssdRaid0;
+  double capacity_gb;
+  double price;
+  if (is_raid) {
+    const RaidControllerSpec& ctrl = StockRaidController();
+    capacity_gb = spec.capacity_gb * ctrl.devices_per_group;
+    price = Raid0PriceCentsPerGbHour(spec, ctrl.devices_per_group,
+                                     ctrl.cost_cents, ctrl.power_watts);
+  } else {
+    capacity_gb = spec.capacity_gb;
+    price = PriceCentsPerGbHour(spec.purchase_cost_cents, spec.power_watts,
+                                spec.capacity_gb);
+  }
+  return StorageClass(StockClassName(c), MakeStockDeviceModel(c), capacity_gb,
+                      price);
+}
+
+BoxConfig MakeBox1() {
+  BoxConfig box;
+  box.name = "Box 1";
+  box.classes = {MakeStockClass(StockClass::kHddRaid0),
+                 MakeStockClass(StockClass::kLssd),
+                 MakeStockClass(StockClass::kHssd)};
+  return box;
+}
+
+BoxConfig MakeBox2() {
+  BoxConfig box;
+  box.name = "Box 2";
+  box.classes = {MakeStockClass(StockClass::kHdd),
+                 MakeStockClass(StockClass::kLssdRaid0),
+                 MakeStockClass(StockClass::kHssd)};
+  return box;
+}
+
+BoxConfig MakeAllClassesBox() {
+  BoxConfig box;
+  box.name = "All classes";
+  box.classes = {MakeStockClass(StockClass::kHdd),
+                 MakeStockClass(StockClass::kHddRaid0),
+                 MakeStockClass(StockClass::kLssd),
+                 MakeStockClass(StockClass::kLssdRaid0),
+                 MakeStockClass(StockClass::kHssd)};
+  return box;
+}
+
+}  // namespace dot

@@ -1,0 +1,58 @@
+#ifndef DOTPROV_STORAGE_STANDARD_CATALOG_H_
+#define DOTPROV_STORAGE_STANDARD_CATALOG_H_
+
+#include <vector>
+
+#include "storage/storage_class.h"
+
+namespace dot {
+
+/// The five storage classes used throughout the paper's evaluation
+/// (Table 1 columns).
+enum class StockClass {
+  kHdd = 0,
+  kHddRaid0 = 1,
+  kLssd = 2,
+  kLssdRaid0 = 3,
+  kHssd = 4,
+};
+
+inline constexpr int kNumStockClasses = 5;
+
+/// Table 2 physical specs for one of the three base devices (HDD, L-SSD,
+/// H-SSD). RAID classes are composed from these plus the controller.
+const DeviceSpec& StockDeviceSpec(StockClass c);
+
+/// RAID controller line item from §4.1: Dell SAS6/iR, $110, 8.25 W,
+/// always combined with exactly two identical devices in the paper.
+struct RaidControllerSpec {
+  double cost_cents = 110.0 * 100.0;
+  double power_watts = 8.25;
+  int devices_per_group = 2;
+};
+const RaidControllerSpec& StockRaidController();
+
+/// Fully-assembled stock storage class: Table 1 latency anchors (measured
+/// end-to-end at concurrency 1 and 300) + capacity + the price recomputed
+/// from Table 2 via the §2.1 amortization model.
+StorageClass MakeStockClass(StockClass c);
+
+/// The paper's published cents/GB/hour for cross-checking our recomputed
+/// prices (Table 1, row 2).
+double PublishedPriceCentsPerGbHour(StockClass c);
+
+/// Canonical label, e.g. "L-SSD RAID 0".
+const char* StockClassName(StockClass c);
+
+/// Box 1 (§4.1): HDD RAID 0 + L-SSD + H-SSD.
+BoxConfig MakeBox1();
+
+/// Box 2 (§4.1): HDD + L-SSD RAID 0 + H-SSD.
+BoxConfig MakeBox2();
+
+/// All five classes in one (hypothetical) box; convenient for tests.
+BoxConfig MakeAllClassesBox();
+
+}  // namespace dot
+
+#endif  // DOTPROV_STORAGE_STANDARD_CATALOG_H_

@@ -1,0 +1,39 @@
+#include "storage/storage_class.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+StorageClass::StorageClass(std::string name, DeviceModel device,
+                           double capacity_gb,
+                           double price_cents_per_gb_hour)
+    : name_(std::move(name)),
+      device_(std::move(device)),
+      capacity_gb_(capacity_gb),
+      price_(price_cents_per_gb_hour) {
+  DOT_CHECK(capacity_gb_ > 0) << "storage class " << name_
+                              << " needs positive capacity";
+  DOT_CHECK(price_ > 0) << "storage class " << name_
+                        << " needs positive price";
+}
+
+int BoxConfig::FindClass(const std::string& class_name) const {
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].name() == class_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int BoxConfig::MostExpensiveClass() const {
+  DOT_CHECK(!classes.empty()) << "box " << name << " has no storage classes";
+  int best = 0;
+  for (size_t i = 1; i < classes.size(); ++i) {
+    if (classes[i].price_cents_per_gb_hour() >
+        classes[best].price_cents_per_gb_hour()) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace dot

@@ -1,0 +1,66 @@
+#ifndef DOTPROV_STORAGE_STORAGE_CLASS_H_
+#define DOTPROV_STORAGE_STORAGE_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "io/device_model.h"
+
+namespace dot {
+
+/// Physical specifications of one purchasable device (Table 2), plus the
+/// shared RAID-controller line item.
+struct DeviceSpec {
+  std::string brand_model;
+  std::string flash_type;      ///< "N/A" for spinning disks
+  double capacity_gb = 0.0;
+  std::string interface;
+  double purchase_cost_cents = 0.0;
+  double power_watts = 0.0;    ///< average of read/write dissipation
+};
+
+/// One storage class d_j available to the provisioner (§2.2): an individual
+/// device or a RAID group, with its calibrated I/O model, usable capacity
+/// c_j (GB) and price p_j (cents/GB/hour).
+class StorageClass {
+ public:
+  StorageClass() = default;
+  StorageClass(std::string name, DeviceModel device, double capacity_gb,
+               double price_cents_per_gb_hour);
+
+  const std::string& name() const { return name_; }
+  const DeviceModel& device() const { return device_; }
+  /// Usable capacity c_j in GB. Experiments may impose a tighter cap via
+  /// set_capacity_gb (§4.4.3 / §4.5.3 capacity sweeps).
+  double capacity_gb() const { return capacity_gb_; }
+  /// Price p_j in cents per GB per hour.
+  double price_cents_per_gb_hour() const { return price_; }
+
+  void set_capacity_gb(double gb) { capacity_gb_ = gb; }
+
+ private:
+  std::string name_;
+  DeviceModel device_;
+  double capacity_gb_ = 0.0;
+  double price_ = 0.0;
+};
+
+/// A server's storage subsystem: the ordered set D = {d_1, ..., d_M} a DOT
+/// run provisions over (e.g. the paper's Box 1 / Box 2).
+struct BoxConfig {
+  std::string name;
+  std::vector<StorageClass> classes;
+
+  int NumClasses() const { return static_cast<int>(classes.size()); }
+
+  /// Index of the class with the given name, or -1.
+  int FindClass(const std::string& class_name) const;
+
+  /// Index of the most expensive class (DOT's initial layout L0 places all
+  /// objects there, §3.1).
+  int MostExpensiveClass() const;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_STORAGE_STORAGE_CLASS_H_

@@ -1,0 +1,85 @@
+#include "workload/dss_workload.h"
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dot {
+
+DssWorkloadModel::DssWorkloadModel(std::string name, const Schema* schema,
+                                   const BoxConfig* box,
+                                   std::vector<QuerySpec> templates,
+                                   std::vector<int> sequence,
+                                   PlannerConfig planner_config)
+    : name_(std::move(name)),
+      schema_(schema),
+      box_(box),
+      templates_(std::move(templates)),
+      sequence_(std::move(sequence)),
+      planner_(schema, box, planner_config) {
+  DOT_CHECK(!templates_.empty()) << "DSS workload needs query templates";
+  DOT_CHECK(!sequence_.empty()) << "DSS workload needs a run sequence";
+  for (int idx : sequence_) {
+    DOT_CHECK(idx >= 0 && idx < static_cast<int>(templates_.size()))
+        << "sequence references unknown template " << idx;
+  }
+}
+
+Plan DssWorkloadModel::PlanTemplate(int template_idx,
+                                    const std::vector<int>& placement) const {
+  DOT_CHECK(template_idx >= 0 &&
+            template_idx < static_cast<int>(templates_.size()));
+  return planner_.PlanQuery(templates_[static_cast<size_t>(template_idx)],
+                            placement);
+}
+
+PerfEstimate DssWorkloadModel::Estimate(
+    const std::vector<int>& placement) const {
+  return EstimateWithIoScale(placement, {});
+}
+
+PerfEstimate DssWorkloadModel::EstimateWithIoScale(
+    const std::vector<int>& placement,
+    const std::vector<double>& io_scale) const {
+  DOT_CHECK(io_scale.empty() ||
+            static_cast<int>(io_scale.size()) == schema_->NumObjects())
+      << "io_scale arity mismatch";
+  PerfEstimate est;
+  est.io_by_object.assign(static_cast<size_t>(schema_->NumObjects()),
+                          IoVector{});
+
+  // Plan each distinct template once; replicate per the run sequence.
+  std::vector<Plan> plans;
+  std::vector<double> plan_times;
+  plans.reserve(templates_.size());
+  for (const QuerySpec& spec : templates_) {
+    Plan plan = planner_.PlanQuery(spec, placement);
+    double time_ms = plan.time_ms;
+    if (!io_scale.empty()) {
+      ObjectIoMap scaled = plan.io_by_object;
+      for (size_t o = 0; o < scaled.size(); ++o) scaled[o] *= io_scale[o];
+      time_ms =
+          IoTimeShareMs(scaled, placement, *box_, concurrency()) +
+          plan.cpu_ms;
+      plan.io_by_object = std::move(scaled);
+    }
+    plan_times.push_back(time_ms);
+    plans.push_back(std::move(plan));
+  }
+
+  for (int idx : sequence_) {
+    const Plan& plan = plans[static_cast<size_t>(idx)];
+    const double time_ms = plan_times[static_cast<size_t>(idx)];
+    est.unit_times_ms.push_back(time_ms);
+    est.elapsed_ms += time_ms;
+    AccumulateIo(est.io_by_object, plan.io_by_object);
+    est.num_joins += plan.num_joins;
+    est.num_index_nl_joins += plan.num_index_nl_joins;
+  }
+  if (est.elapsed_ms > 0) {
+    est.tasks_per_hour =
+        static_cast<double>(sequence_.size()) / (est.elapsed_ms / kMsPerHour);
+  }
+  return est;
+}
+
+}  // namespace dot

@@ -1,0 +1,59 @@
+#ifndef DOTPROV_WORKLOAD_DSS_WORKLOAD_H_
+#define DOTPROV_WORKLOAD_DSS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/planner.h"
+#include "query/query_spec.h"
+#include "storage/storage_class.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+/// A decision-support workload: a sequence of query-template instances
+/// executed one after another (§2.3 with c = 1, as in all the paper's TPC-H
+/// experiments). Performance estimates come from the storage-aware planner,
+/// so plan choice — and therefore the per-object I/O profile — responds to
+/// the candidate placement.
+class DssWorkloadModel : public WorkloadModel {
+ public:
+  /// `schema` and `box` must outlive the model. `sequence[i]` indexes into
+  /// `templates` and defines the executed query order (e.g. the paper's 66
+  /// = 22 templates x 3 repetitions).
+  DssWorkloadModel(std::string name, const Schema* schema,
+                   const BoxConfig* box, std::vector<QuerySpec> templates,
+                   std::vector<int> sequence, PlannerConfig planner_config);
+
+  const std::string& name() const override { return name_; }
+  double concurrency() const override { return 1.0; }
+  SlaKind sla_kind() const override {
+    return SlaKind::kPerQueryResponseTime;
+  }
+  PerfEstimate Estimate(const std::vector<int>& placement) const override;
+  PerfEstimate EstimateWithIoScale(
+      const std::vector<int>& placement,
+      const std::vector<double>& io_scale) const override;
+
+  const std::vector<QuerySpec>& templates() const { return templates_; }
+  const std::vector<int>& sequence() const { return sequence_; }
+  const Schema& schema() const { return *schema_; }
+
+  /// Plans a single template under `placement` (used by the INLJ-share
+  /// analysis bench and by tests).
+  Plan PlanTemplate(int template_idx,
+                    const std::vector<int>& placement) const;
+
+ private:
+  std::string name_;
+  const Schema* schema_;
+  const BoxConfig* box_;
+  std::vector<QuerySpec> templates_;
+  std::vector<int> sequence_;
+  Planner planner_;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_DSS_WORKLOAD_H_

@@ -1,0 +1,109 @@
+#include "workload/oltp_workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "query/object_io.h"
+
+namespace dot {
+
+OltpWorkloadModel::OltpWorkloadModel(std::string name, const Schema* schema,
+                                     const BoxConfig* box,
+                                     std::vector<TxnType> txn_types,
+                                     double concurrency,
+                                     double measurement_period_ms,
+                                     double contention_reference_ms)
+    : name_(std::move(name)),
+      schema_(schema),
+      box_(box),
+      txn_types_(std::move(txn_types)),
+      concurrency_(concurrency),
+      measurement_period_ms_(measurement_period_ms),
+      contention_reference_ms_(contention_reference_ms) {
+  DOT_CHECK(!txn_types_.empty()) << "OLTP workload needs transaction types";
+  DOT_CHECK(concurrency_ >= 1.0);
+  DOT_CHECK(measurement_period_ms_ > 0);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < txn_types_.size(); ++i) {
+    const TxnType& t = txn_types_[i];
+    DOT_CHECK(t.weight > 0) << "transaction " << t.name
+                            << " needs positive weight";
+    DOT_CHECK(static_cast<int>(t.io.size()) == schema_->NumObjects())
+        << "transaction " << t.name << " footprint arity mismatch";
+    total_weight += t.weight;
+    if (t.name == "NewOrder") primary_txn_ = static_cast<int>(i);
+  }
+  DOT_CHECK(std::abs(total_weight - 1.0) < 1e-9)
+      << "transaction mix weights must sum to 1, got " << total_weight;
+}
+
+PerfEstimate OltpWorkloadModel::Estimate(
+    const std::vector<int>& placement) const {
+  return EstimateWithIoScale(placement, {});
+}
+
+PerfEstimate OltpWorkloadModel::EstimateWithIoScale(
+    const std::vector<int>& placement,
+    const std::vector<double>& io_scale) const {
+  DOT_CHECK(static_cast<int>(placement.size()) == schema_->NumObjects());
+  DOT_CHECK(io_scale.empty() ||
+            static_cast<int>(io_scale.size()) == schema_->NumObjects())
+      << "io_scale arity mismatch";
+
+  PerfEstimate est;
+  est.elapsed_ms = measurement_period_ms_;
+  est.io_by_object.assign(static_cast<size_t>(schema_->NumObjects()),
+                          IoVector{});
+
+  auto scaled_io = [&](const TxnType& t) {
+    ObjectIoMap io = t.io;
+    if (!io_scale.empty()) {
+      for (size_t o = 0; o < io.size(); ++o) io[o] *= io_scale[o];
+    }
+    return io;
+  };
+
+  // Mix-weighted mean transaction latency at the workload's concurrency.
+  double mean_latency_ms = 0.0;
+  for (const TxnType& t : txn_types_) {
+    const double io_ms =
+        IoTimeShareMs(scaled_io(t), placement, *box_, concurrency_);
+    const double latency = io_ms + t.cpu_ms + t.overhead_ms;
+    est.unit_times_ms.push_back(latency);
+    mean_latency_ms += t.weight * latency;
+  }
+  DOT_CHECK(mean_latency_ms > 0);
+
+  // Lock-convoy contention: long transactions hold locks longer and
+  // collide more, so effective latency diverges as the mean service demand
+  // approaches the system's saturation point (see header).
+  double effective_latency_ms = mean_latency_ms;
+  if (contention_reference_ms_ > 0) {
+    // Past saturation the degradation is capped at 10x: thrashing systems
+    // still make (slow) progress.
+    const double utilization =
+        std::min(mean_latency_ms / contention_reference_ms_, 0.9);
+    effective_latency_ms = mean_latency_ms / (1.0 - utilization);
+  }
+
+  // Closed-loop throughput: c terminals, zero think time.
+  const double txns_per_minute =
+      concurrency_ * kMsPerMinute / effective_latency_ms;
+  const double primary_weight =
+      txn_types_[static_cast<size_t>(primary_txn_)].weight;
+  est.tpmc = txns_per_minute * primary_weight;
+  est.tasks_per_hour = est.tpmc * 60.0;
+
+  // Total I/O over the measurement period.
+  const double txns_total =
+      txns_per_minute * (measurement_period_ms_ / kMsPerMinute);
+  for (const TxnType& t : txn_types_) {
+    ObjectIoMap io = scaled_io(t);
+    ScaleIo(io, txns_total * t.weight);
+    AccumulateIo(est.io_by_object, io);
+  }
+  return est;
+}
+
+}  // namespace dot

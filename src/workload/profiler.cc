@@ -1,0 +1,114 @@
+#include "workload/profiler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dot {
+
+WorkloadProfiles::WorkloadProfiles(int num_classes)
+    : num_classes_(num_classes) {
+  DOT_CHECK(num_classes_ >= 1);
+  by_pair_.resize(static_cast<size_t>(num_classes_ * num_classes_));
+  present_.assign(static_cast<size_t>(num_classes_ * num_classes_), false);
+}
+
+void WorkloadProfiles::Set(int table_cls, int index_cls, ObjectIoMap io) {
+  DOT_CHECK(!single_) << "profiles already collapsed to a single baseline";
+  DOT_CHECK(table_cls >= 0 && table_cls < num_classes_);
+  DOT_CHECK(index_cls >= 0 && index_cls < num_classes_);
+  const size_t key =
+      static_cast<size_t>(table_cls * num_classes_ + index_cls);
+  by_pair_[key] = std::move(io);
+  present_[key] = true;
+}
+
+void WorkloadProfiles::SetSingle(ObjectIoMap io) {
+  single_ = true;
+  by_pair_.assign(1, std::move(io));
+  present_.assign(1, true);
+}
+
+const ObjectIoMap& WorkloadProfiles::For(int table_cls, int index_cls) const {
+  if (single_) return by_pair_[0];
+  DOT_CHECK(table_cls >= 0 && table_cls < num_classes_);
+  DOT_CHECK(index_cls >= 0 && index_cls < num_classes_);
+  const size_t key =
+      static_cast<size_t>(table_cls * num_classes_ + index_cls);
+  DOT_CHECK(present_[key]) << "baseline (" << table_cls << "," << index_cls
+                           << ") was not profiled";
+  return by_pair_[key];
+}
+
+namespace {
+
+bool ProfilesEqual(const ObjectIoMap& a, const ObjectIoMap& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t o = 0; o < a.size(); ++o) {
+    for (IoType t : kAllIoTypes) {
+      const double x = a[o][t];
+      const double y = b[o][t];
+      const double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+      if (std::fabs(x - y) > tol * scale) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int WorkloadProfiles::CountDistinct(double rel_tolerance) const {
+  if (single_) return 1;
+  std::vector<const ObjectIoMap*> distinct;
+  for (size_t k = 0; k < by_pair_.size(); ++k) {
+    if (!present_[k]) continue;
+    bool found = false;
+    for (const ObjectIoMap* d : distinct) {
+      if (ProfilesEqual(*d, by_pair_[k], rel_tolerance)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) distinct.push_back(&by_pair_[k]);
+  }
+  return static_cast<int>(distinct.size());
+}
+
+Profiler::Profiler(const Schema* schema, const BoxConfig* box)
+    : schema_(schema), box_(box) {
+  DOT_CHECK(schema_ != nullptr && box_ != nullptr);
+}
+
+std::vector<int> Profiler::BaselineLayout(int table_cls,
+                                          int index_cls) const {
+  DOT_CHECK(table_cls >= 0 && table_cls < box_->NumClasses());
+  DOT_CHECK(index_cls >= 0 && index_cls < box_->NumClasses());
+  std::vector<int> placement(static_cast<size_t>(schema_->NumObjects()));
+  for (const DbObject& o : schema_->objects()) {
+    placement[static_cast<size_t>(o.id)] =
+        o.IsIndex() ? index_cls : table_cls;
+  }
+  return placement;
+}
+
+WorkloadProfiles Profiler::ProfileWorkload(const WorkloadModel& model,
+                                           const EstimateFn& estimate) const {
+  const int m = box_->NumClasses();
+  WorkloadProfiles profiles(m);
+  if (model.PlansArePlacementInvariant()) {
+    // §4.5.1: a single test layout suffices; the paper uses All H-SSD.
+    const int cls = box_->MostExpensiveClass();
+    PerfEstimate est = estimate(BaselineLayout(cls, cls));
+    profiles.SetSingle(std::move(est.io_by_object));
+    return profiles;
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      PerfEstimate est = estimate(BaselineLayout(i, j));
+      profiles.Set(i, j, std::move(est.io_by_object));
+    }
+  }
+  return profiles;
+}
+
+}  // namespace dot

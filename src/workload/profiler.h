@@ -1,0 +1,77 @@
+#ifndef DOTPROV_WORKLOAD_PROFILER_H_
+#define DOTPROV_WORKLOAD_PROFILER_H_
+
+#include <functional>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/object_io.h"
+#include "storage/storage_class.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+/// The workload profiles X = {χ^p_r[o]} of §3.4: per-object, per-I/O-type
+/// request counts of the whole workload, measured on each *baseline layout*
+/// L(i,j) (all tables on class i, all indices on class j). DOT's move
+/// scoring reads the profile matching a candidate group placement.
+class WorkloadProfiles {
+ public:
+  /// `num_classes` is M, the number of storage classes in the box.
+  explicit WorkloadProfiles(int num_classes);
+
+  /// Stores the profile measured on baseline L(table_cls, index_cls).
+  void Set(int table_cls, int index_cls, ObjectIoMap io);
+
+  /// Collapses the matrix to one profile (plan-invariant workloads, §4.5.1:
+  /// "we only need one simple layout").
+  void SetSingle(ObjectIoMap io);
+
+  bool single() const { return single_; }
+  int num_classes() const { return num_classes_; }
+
+  /// χ^p[·] for a group whose table sits on `table_cls` and whose indices
+  /// sit on `index_cls`.
+  const ObjectIoMap& For(int table_cls, int index_cls) const;
+
+  /// Number of pairwise-distinct baseline profiles (within tolerance); 1
+  /// means every baseline produced identical plans and the §3.4 pruning
+  /// opportunity applies in full.
+  int CountDistinct(double rel_tolerance = 1e-9) const;
+
+ private:
+  int num_classes_;
+  bool single_ = false;
+  std::vector<ObjectIoMap> by_pair_;  ///< [i * M + j]; size 1 when single_
+  std::vector<bool> present_;
+};
+
+/// Callback that produces a performance estimate / measurement for a
+/// placement: either the extended optimizer's estimate (§3.4 option (a),
+/// used for TPC-H) or a sample test run (§3.4 option (b), used for TPC-C).
+using EstimateFn = std::function<PerfEstimate(const std::vector<int>&)>;
+
+/// The profiling phase (Figure 2, first box).
+class Profiler {
+ public:
+  /// `schema` and `box` must outlive the profiler.
+  Profiler(const Schema* schema, const BoxConfig* box);
+
+  /// Baseline layout L(i,j): every table on class i, every index on class
+  /// j, auxiliary objects (temp/log) alongside the tables on i.
+  std::vector<int> BaselineLayout(int table_cls, int index_cls) const;
+
+  /// Profiles `model` over all M² baselines via `estimate`. When the model
+  /// declares its plans placement-invariant, only the single all-most-
+  /// expensive baseline is profiled (the paper's TPC-C shortcut).
+  WorkloadProfiles ProfileWorkload(const WorkloadModel& model,
+                                   const EstimateFn& estimate) const;
+
+ private:
+  const Schema* schema_;
+  const BoxConfig* box_;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_PROFILER_H_

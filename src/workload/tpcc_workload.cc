@@ -1,0 +1,153 @@
+#include "workload/tpcc_workload.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace dot {
+
+namespace {
+
+/// Incrementally builds one transaction type's per-object footprint.
+class FootprintBuilder {
+ public:
+  FootprintBuilder(const Schema& schema, std::string name, double weight,
+                   double cpu_ms, double overhead_ms)
+      : schema_(schema) {
+    txn_.name = std::move(name);
+    txn_.weight = weight;
+    txn_.cpu_ms = cpu_ms;
+    txn_.overhead_ms = overhead_ms;
+    txn_.io.assign(static_cast<size_t>(schema.NumObjects()), IoVector{});
+  }
+
+  FootprintBuilder& Io(const char* object, IoType type, double count) {
+    const int id = schema_.FindObject(object);
+    // Objects absent from the schema are skipped: this lets the same mix
+    // definition drive reduced schemas (e.g. the Figure 9 DOT-vs-ES study,
+    // where exhaustive search is only tractable on the hottest objects).
+    if (id < 0) return *this;
+    txn_.io[static_cast<size_t>(id)][type] += count;
+    return *this;
+  }
+
+  TxnType Build() { return std::move(txn_); }
+
+ private:
+  const Schema& schema_;
+  TxnType txn_;
+};
+
+}  // namespace
+
+std::unique_ptr<OltpWorkloadModel> MakeTpccWorkload(const Schema* schema,
+                                                    const BoxConfig* box,
+                                                    const TpccConfig& config) {
+  DOT_CHECK(schema != nullptr && box != nullptr);
+  using T = IoType;
+  std::vector<TxnType> txns;
+
+  // New-Order (45%): read warehouse/district/customer/item, read+update ~10
+  // stock rows, insert the order, its order lines and the new_order entry.
+  // Hot single-row tables (warehouse, district, item) mostly hit the buffer
+  // pool; fractional counts are the residual miss rates.
+  txns.push_back(
+      FootprintBuilder(*schema, "NewOrder", 0.45, /*cpu_ms=*/0.6,
+                       /*overhead_ms=*/75.0)
+          .Io("warehouse", T::kRandRead, 0.1)
+          .Io("pk_warehouse", T::kRandRead, 0.05)
+          .Io("district", T::kRandRead, 0.3)
+          .Io("district", T::kRandWrite, 1.0)
+          .Io("pk_district", T::kRandRead, 0.1)
+          .Io("customer", T::kRandRead, 1.0)
+          .Io("pk_customer", T::kRandRead, 0.3)
+          // item is read-only and 9 MB: fully buffer-resident after warmup.
+          .Io("stock", T::kRandRead, 10.0)
+          .Io("stock", T::kRandWrite, 10.0)
+          .Io("pk_stock", T::kRandRead, 3.0)
+          // Order-side inserts append to hot tail pages; writes coalesce
+          // across hundreds of transactions before a page is evicted.
+          .Io("orders", T::kRandWrite, 0.05)
+          .Io("pk_orders", T::kRandWrite, 0.02)
+          .Io("i_orders", T::kRandWrite, 0.02)
+          .Io("new_order", T::kRandWrite, 0.05)
+          .Io("pk_new_order", T::kRandWrite, 0.02)
+          .Io("order_line", T::kRandWrite, 10.0)
+          .Io("pk_order_line", T::kRandWrite, 3.0)
+          .Build());
+
+  // Payment (43%): update warehouse/district YTD, select+update the
+  // customer (60% of lookups go through the last-name index), append to
+  // history (the only sequential writer in the mix).
+  txns.push_back(
+      FootprintBuilder(*schema, "Payment", 0.43, /*cpu_ms=*/0.2,
+                       /*overhead_ms=*/50.0)
+          .Io("warehouse", T::kRandWrite, 0.3)
+          .Io("pk_warehouse", T::kRandRead, 0.02)
+          .Io("district", T::kRandWrite, 1.0)
+          .Io("pk_district", T::kRandRead, 0.1)
+          .Io("customer", T::kRandRead, 1.5)
+          .Io("customer", T::kRandWrite, 0.7)
+          .Io("pk_customer", T::kRandRead, 0.4)
+          .Io("i_customer", T::kRandRead, 0.6)
+          .Io("history", T::kSeqWrite, 1.0)
+          .Build());
+
+  // Order-Status (4%): customer lookup (again 60% by last name), latest
+  // order and its lines.
+  txns.push_back(
+      FootprintBuilder(*schema, "OrderStatus", 0.04, /*cpu_ms=*/0.2,
+                       /*overhead_ms=*/40.0)
+          .Io("customer", T::kRandRead, 1.0)
+          .Io("pk_customer", T::kRandRead, 0.4)
+          .Io("i_customer", T::kRandRead, 0.6)
+          .Io("orders", T::kRandRead, 0.3)
+          .Io("pk_orders", T::kRandRead, 0.1)
+          .Io("i_orders", T::kRandRead, 0.3)
+          .Io("order_line", T::kRandRead, 10.0)
+          .Io("pk_order_line", T::kRandRead, 1.0)
+          .Build());
+
+  // Delivery (4%): drains one new_order per district for all ten
+  // districts, marking orders delivered and crediting customers.
+  txns.push_back(
+      FootprintBuilder(*schema, "Delivery", 0.04, /*cpu_ms=*/0.6,
+                       /*overhead_ms=*/100.0)
+          // The drained rows were inserted recently; most are still
+          // buffer-resident, so the physical I/O is a fraction of the
+          // logical row counts.
+          .Io("new_order", T::kRandRead, 0.5)
+          .Io("new_order", T::kRandWrite, 0.5)
+          .Io("pk_new_order", T::kRandRead, 0.1)
+          .Io("pk_new_order", T::kRandWrite, 0.1)
+          .Io("orders", T::kRandRead, 1.0)
+          .Io("orders", T::kRandWrite, 1.0)
+          .Io("pk_orders", T::kRandRead, 0.2)
+          .Io("order_line", T::kRandRead, 30.0)
+          .Io("order_line", T::kRandWrite, 30.0)
+          .Io("pk_order_line", T::kRandRead, 3.0)
+          .Io("customer", T::kRandRead, 5.0)
+          .Io("customer", T::kRandWrite, 5.0)
+          .Io("pk_customer", T::kRandRead, 1.0)
+          .Build());
+
+  // Stock-Level (4%): join of the district's last 20 orders' lines against
+  // stock; read-only but touches many rows.
+  txns.push_back(
+      FootprintBuilder(*schema, "StockLevel", 0.04, /*cpu_ms=*/0.4,
+                       /*overhead_ms=*/50.0)
+          .Io("district", T::kRandRead, 1.0)
+          .Io("pk_district", T::kRandRead, 0.1)
+          .Io("order_line", T::kRandRead, 100.0)
+          .Io("pk_order_line", T::kRandRead, 10.0)
+          .Io("stock", T::kRandRead, 100.0)
+          .Io("pk_stock", T::kRandRead, 10.0)
+          .Build());
+
+  return std::make_unique<OltpWorkloadModel>(
+      "TPC-C", schema, box, std::move(txns), config.concurrency,
+      config.measurement_period_ms,
+      config.contention_reference_ms);
+}
+
+}  // namespace dot

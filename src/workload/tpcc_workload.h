@@ -1,0 +1,39 @@
+#ifndef DOTPROV_WORKLOAD_TPCC_WORKLOAD_H_
+#define DOTPROV_WORKLOAD_TPCC_WORKLOAD_H_
+
+#include <memory>
+
+#include "catalog/schema.h"
+#include "storage/storage_class.h"
+#include "workload/oltp_workload.h"
+
+namespace dot {
+
+/// Knobs of the DBT-2 run the paper uses (§4.5): 300 DB connections,
+/// 1 terminal per warehouse, no think time, one-hour measurement period.
+struct TpccConfig {
+  double concurrency = 300.0;
+  double measurement_period_ms = 3600.0 * 1000.0;
+  /// Lock-convoy saturation scale (see OltpWorkloadModel); <= 0 disables.
+  double contention_reference_ms = 190.0;
+};
+
+/// Builds the TPC-C transaction-mix model over `schema` (which must come
+/// from MakeTpccSchema and outlive the model, as must `box`).
+///
+/// The five transaction types carry per-execution I/O footprints (counts of
+/// SR/RR/SW/RW per object) reflecting the TPC-C specification's logical
+/// profile — e.g. New-Order touches ~10 stock rows read+write and inserts
+/// ~10 order lines; Payment updates warehouse/district/customer and appends
+/// to history; Delivery drains new_order for all ten districts. Almost all
+/// of it is random I/O, matching the paper's §4.5.1 observation, with the
+/// append-only history writes as the sequential exception. Fixed per-
+/// transaction overheads model locking/logging/round-trip time at 300
+/// connections.
+std::unique_ptr<OltpWorkloadModel> MakeTpccWorkload(const Schema* schema,
+                                                    const BoxConfig* box,
+                                                    const TpccConfig& config);
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_TPCC_WORKLOAD_H_

@@ -1,0 +1,270 @@
+#include "workload/tpch_queries.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+namespace {
+
+/// Shorthand builders to keep the 22 templates readable.
+RelationAccess Rel(const char* table, double selectivity,
+                   bool sargable = false, double clustering = 0.0) {
+  RelationAccess ra;
+  ra.table = table;
+  ra.selectivity = selectivity;
+  ra.index_sargable = sargable;
+  ra.clustering = clustering;
+  return ra;
+}
+
+JoinStep Join(double matches_per_outer, bool inner_indexable) {
+  JoinStep j;
+  j.matches_per_outer = matches_per_outer;
+  j.inner_indexable = inner_indexable;
+  return j;
+}
+
+QuerySpec Query(const char* name, std::vector<RelationAccess> relations,
+                std::vector<JoinStep> joins, bool has_sort,
+                double cpu_weight = 1.0) {
+  QuerySpec q;
+  q.name = name;
+  q.relations = std::move(relations);
+  q.joins = std::move(joins);
+  q.has_sort = has_sort;
+  q.cpu_weight = cpu_weight;
+  return q;
+}
+
+}  // namespace
+
+std::vector<QuerySpec> MakeTpchTemplates() {
+  std::vector<QuerySpec> qs;
+
+  // Q1: pricing summary report. One giant lineitem scan (l_shipdate <=
+  // cutoff keeps ~98%), aggregation-heavy.
+  qs.push_back(Query("Q1", {Rel("lineitem", 0.98)}, {}, false, 3.0));
+
+  // Q2: minimum-cost supplier. Selective part filter (size + type + the
+  // correlated min-cost subquery leave ~0.1% of parts), then PK probes
+  // into partsupp (4 suppliers/part) and supplier, plus the nation/region
+  // dimension lookups. The paper singles this query out as RR-heavy
+  // (§4.4.1): its best plan probes partsupp through the index, which is
+  // why DOT pins partsupp and partsupp_pkey to the H-SSD.
+  qs.push_back(Query(
+      "Q2",
+      {Rel("part", 0.001), Rel("partsupp", 1.0), Rel("supplier", 1.0),
+       Rel("nation", 1.0), Rel("region", 0.2)},
+      {Join(4.0, true), Join(1.0, true), Join(1.0, true), Join(0.2, true)},
+      true));
+
+  // Q3: shipping priority. Quarter+ of orders by date, customer segment
+  // filter folded into the join, top-10 sort.
+  qs.push_back(Query(
+      "Q3", {Rel("orders", 0.48), Rel("customer", 0.2), Rel("lineitem", 1.0)},
+      {Join(0.2, true), Join(2.2, true)}, true));
+
+  // Q4: order priority checking. One quarter of orders, EXISTS probe into
+  // lineitem.
+  qs.push_back(Query("Q4", {Rel("orders", 0.038), Rel("lineitem", 1.0)},
+                     {Join(2.5, true)}, false));
+
+  // Q5: local supplier volume. One year of orders joined out to customer,
+  // lineitem, supplier and the region dimensions.
+  qs.push_back(Query(
+      "Q5",
+      {Rel("orders", 0.152), Rel("customer", 1.0), Rel("lineitem", 1.0),
+       Rel("supplier", 1.0), Rel("nation", 1.0), Rel("region", 0.2)},
+      {Join(1.0, true), Join(4.0, true), Join(1.0, true), Join(1.0, true),
+       Join(0.2, true)},
+      true));
+
+  // Q6: revenue-change forecast. Narrow lineitem range scan (date x
+  // discount x quantity ~1.9%), no joins; predicate not key-sargable.
+  qs.push_back(Query("Q6", {Rel("lineitem", 0.019)}, {}, false));
+
+  // Q7: volume shipping between two nations. Two years of lineitem,
+  // dimension probes; nation pair filter ~0.32%.
+  qs.push_back(Query(
+      "Q7",
+      {Rel("lineitem", 0.305), Rel("orders", 1.0), Rel("customer", 1.0),
+       Rel("supplier", 1.0), Rel("nation", 0.08)},
+      {Join(1.0, true), Join(1.0, true), Join(1.0, true), Join(0.08, true)},
+      true));
+
+  // Q8: national market share. Very selective part type (~0.13%), fanout 30
+  // into lineitem (no index on l_partkey, so a hash join over the scan).
+  qs.push_back(Query(
+      "Q8",
+      {Rel("part", 0.0013), Rel("lineitem", 1.0), Rel("orders", 0.305),
+       Rel("customer", 1.0), Rel("supplier", 1.0), Rel("nation", 1.0),
+       Rel("region", 0.2)},
+      {Join(30.0, false), Join(0.305, true), Join(1.0, true), Join(1.0, true),
+       Join(1.0, true), Join(0.2, true)},
+      false, 1.5));
+
+  // Q9: product-type profit. part name LIKE (~5.5%), big lineitem hash
+  // join, partsupp composite-PK probes.
+  qs.push_back(Query(
+      "Q9",
+      {Rel("part", 0.055), Rel("lineitem", 1.0), Rel("supplier", 1.0),
+       Rel("partsupp", 1.0), Rel("orders", 1.0), Rel("nation", 1.0)},
+      {Join(30.0, false), Join(1.0, true), Join(1.0, true), Join(1.0, true),
+       Join(1.0, true)},
+      true, 1.5));
+
+  // Q10: returned items. One quarter of orders, returned lineitems (~25%
+  // of the order's items), customer/nation lookups, top-20 sort.
+  qs.push_back(Query(
+      "Q10",
+      {Rel("orders", 0.038), Rel("lineitem", 1.0), Rel("customer", 1.0),
+       Rel("nation", 1.0)},
+      {Join(1.0, true), Join(1.0, true), Join(1.0, true)}, true));
+
+  // Q11: important stock identification. One nation's suppliers (4%),
+  // fanout 80 into partsupp (no index on ps_suppkey prefix -> hash join),
+  // GROUP BY + HAVING over the result.
+  qs.push_back(Query("Q11", {Rel("supplier", 0.04), Rel("partsupp", 1.0)},
+                     {Join(80.0, false)}, true, 2.0));
+
+  // Q12: shipping-mode priority. Narrow lineitem filter (two ship modes,
+  // one receipt year, ~0.52%), probe into orders.
+  qs.push_back(Query("Q12", {Rel("lineitem", 0.0052), Rel("orders", 1.0)},
+                     {Join(1.0, true)}, false));
+
+  // Q13: customer distribution. Full customer x orders (no index on
+  // o_custkey), count-distinct heavy.
+  qs.push_back(Query("Q13", {Rel("customer", 1.0), Rel("orders", 1.0)},
+                     {Join(10.0, false)}, true, 2.0));
+
+  // Q14: promotion effect. One month of lineitem (~1.26%), part probes.
+  qs.push_back(Query("Q14", {Rel("lineitem", 0.0126), Rel("part", 1.0)},
+                     {Join(1.0, true)}, false));
+
+  // Q15: top supplier. One quarter of lineitem, supplier probes.
+  qs.push_back(Query("Q15", {Rel("lineitem", 0.038), Rel("supplier", 1.0)},
+                     {Join(1.0, true)}, true));
+
+  // Q16: parts/supplier relationship. Full partsupp scan, anti-filters on
+  // part (brand/type/size keep ~9.3%).
+  qs.push_back(Query("Q16", {Rel("partsupp", 1.0), Rel("part", 1.0)},
+                     {Join(0.093, true)}, true, 2.0));
+
+  // Q17: small-quantity-order revenue. Brand+container (~0.1% of parts),
+  // fanout 30 into lineitem with a per-part AVG subquery.
+  qs.push_back(Query("Q17", {Rel("part", 0.001), Rel("lineitem", 1.0)},
+                     {Join(30.0, false)}, false, 1.5));
+
+  // Q18: large-volume customers. GROUP BY over all of lineitem via orders,
+  // customer probes.
+  qs.push_back(Query(
+      "Q18",
+      {Rel("orders", 1.0), Rel("lineitem", 1.0), Rel("customer", 1.0)},
+      {Join(4.0, true), Join(1.0, true)}, true, 2.0));
+
+  // Q19: discounted revenue. Disjunctive quantity/container predicates on
+  // lineitem (~0.2%), part probes.
+  qs.push_back(Query("Q19", {Rel("lineitem", 0.002), Rel("part", 1.0)},
+                     {Join(1.0, true)}, false));
+
+  // Q20: potential part promotion. part name prefix (~5%), partsupp
+  // composite-PK probes, supplier/nation lookups.
+  qs.push_back(Query(
+      "Q20",
+      {Rel("part", 0.05), Rel("partsupp", 1.0), Rel("supplier", 1.0),
+       Rel("nation", 0.04)},
+      {Join(4.0, true), Join(1.0, true), Join(0.04, true)}, true));
+
+  // Q21: suppliers who kept orders waiting. One nation's suppliers, fanout
+  // 600 into lineitem (hash join), order-status probes.
+  qs.push_back(Query(
+      "Q21",
+      {Rel("supplier", 0.04), Rel("lineitem", 1.0), Rel("orders", 0.49),
+       Rel("nation", 0.04)},
+      {Join(600.0, false), Join(0.49, true), Join(0.04, true)}, true, 2.0));
+
+  // Q22: global sales opportunity. Country-code customers without orders
+  // (anti join over o_custkey, unindexed).
+  qs.push_back(Query("Q22", {Rel("customer", 0.13), Rel("orders", 1.0)},
+                     {Join(10.0, false)}, true));
+
+  DOT_CHECK(qs.size() == 22);
+  return qs;
+}
+
+std::vector<QuerySpec> MakeModifiedTpchTemplates() {
+  // The Operational-Data-Store variants of Q2/Q5/Q9/Q11/Q17 from [10]: each
+  // adds key-range predicates (on part, order and/or supplier keys) to the
+  // WHERE clause so that only a small key range qualifies. The driving
+  // filters become PK-sargable and the plans become probe chains when the
+  // random-read budget allows (§4.4.2).
+  std::vector<QuerySpec> qs;
+
+  // MQ2: min-cost supplier over a narrow partkey range.
+  qs.push_back(Query(
+      "MQ2",
+      {Rel("part", 3e-4, /*sargable=*/true), Rel("partsupp", 1.0),
+       Rel("supplier", 1.0), Rel("nation", 1.0), Rel("region", 0.2)},
+      {Join(4.0, true), Join(1.0, true), Join(1.0, true), Join(0.2, true)},
+      true));
+
+  // MQ5: local supplier volume for a narrow orderkey range.
+  qs.push_back(Query(
+      "MQ5",
+      {Rel("orders", 2e-3, /*sargable=*/true), Rel("customer", 1.0),
+       Rel("lineitem", 1.0), Rel("supplier", 1.0), Rel("nation", 1.0),
+       Rel("region", 0.2)},
+      {Join(1.0, true), Join(4.0, true), Join(1.0, true), Join(1.0, true),
+       Join(0.2, true)},
+      true));
+
+  // MQ9: product-type profit over a narrow orderkey range, probing out to
+  // lineitem, part, supplier and partsupp.
+  qs.push_back(Query(
+      "MQ9",
+      {Rel("orders", 2e-3, /*sargable=*/true), Rel("lineitem", 1.0),
+       Rel("part", 1.0), Rel("supplier", 1.0), Rel("partsupp", 1.0),
+       Rel("nation", 1.0)},
+      {Join(4.0, true), Join(1.0, true), Join(1.0, true), Join(1.0, true),
+       Join(1.0, true)},
+      true, 1.5));
+
+  // MQ11: important stock over a partkey range of partsupp.
+  qs.push_back(Query(
+      "MQ11",
+      {Rel("partsupp", 1e-3, /*sargable=*/true), Rel("part", 1.0),
+       Rel("supplier", 1.0)},
+      {Join(1.0, true), Join(1.0, true)}, true, 2.0));
+
+  // MQ17: small-quantity revenue for a narrow partkey range; the lineitem
+  // side keeps its fanout-30 unindexed join (l_partkey has no index), so
+  // this stays a scan-heavy query whose part side is probe-friendly.
+  qs.push_back(Query(
+      "MQ17",
+      {Rel("part", 2e-4, /*sargable=*/true), Rel("lineitem", 1.0)},
+      {Join(30.0, false)}, false, 1.5));
+
+  DOT_CHECK(qs.size() == 5);
+  return qs;
+}
+
+std::vector<QuerySpec> MakeTpchSubsetTemplates() {
+  std::vector<QuerySpec> all = MakeTpchTemplates();
+  const std::vector<int> keep = {0, 2, 3, 5, 11, 12, 13, 16, 17, 18, 21};
+  std::vector<QuerySpec> out;
+  for (int idx : keep) out.push_back(all[static_cast<size_t>(idx)]);
+  DOT_CHECK(out.size() == 11);
+  return out;
+}
+
+std::vector<int> RepeatSequence(int n_templates, int reps) {
+  DOT_CHECK(n_templates > 0 && reps > 0);
+  std::vector<int> seq;
+  seq.reserve(static_cast<size_t>(n_templates * reps));
+  for (int t = 0; t < n_templates; ++t) {
+    for (int r = 0; r < reps; ++r) seq.push_back(t);
+  }
+  return seq;
+}
+
+}  // namespace dot

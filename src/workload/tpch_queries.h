@@ -1,0 +1,37 @@
+#ifndef DOTPROV_WORKLOAD_TPCH_QUERIES_H_
+#define DOTPROV_WORKLOAD_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "query/query_spec.h"
+
+namespace dot {
+
+/// The 22 TPC-H query templates, modeled declaratively (join order, local
+/// predicate selectivities, index sargability, join fanouts). Selectivities
+/// follow the TPC-H specification's predicate definitions; join orders are
+/// the canonical left-deep orders PostgreSQL picks at this scale. The
+/// original workload is dominated by sequential scans (§4.4: "the SR I/O as
+/// the dominating I/O type").
+std::vector<QuerySpec> MakeTpchTemplates();
+
+/// The modified TPC-H workload from [10] (Canim et al.): templates 2, 5, 9,
+/// 11 and 17 with extra predicates on part/order/supplier keys so that far
+/// fewer rows qualify, producing a mix of random and sequential reads that
+/// rewards index nested-loop joins on fast random-I/O devices (§4.4.2).
+std::vector<QuerySpec> MakeModifiedTpchTemplates();
+
+/// The 11-template subset used by the §4.4.3 DOT-vs-exhaustive-search
+/// experiment (Q1, Q3, Q4, Q6, Q12, Q13, Q14, Q17, Q18, Q19, Q22): exactly
+/// the templates touching only lineitem/orders/customer/part.
+std::vector<QuerySpec> MakeTpchSubsetTemplates();
+
+/// Run sequence [0..n_templates) repeated `reps` times, template-major
+/// (template 0 x reps, then template 1 x reps, ...): 22x3 = the paper's 66
+/// original queries, 5x20 = the 100 modified ones, 11x3 = the 33 ES-subset
+/// queries.
+std::vector<int> RepeatSequence(int n_templates, int reps);
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_TPCH_QUERIES_H_

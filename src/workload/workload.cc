@@ -1,0 +1,21 @@
+#include "workload/workload.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+PerfEstimate WorkloadModel::EstimateWithIoScale(
+    const std::vector<int>& placement,
+    const std::vector<double>& io_scale) const {
+  DOT_CHECK(io_scale.empty())
+      << "this workload model does not support I/O scaling";
+  return Estimate(placement);
+}
+
+std::vector<int> UniformPlacement(int num_objects, int cls) {
+  DOT_CHECK(num_objects >= 0);
+  DOT_CHECK(cls >= 0);
+  return std::vector<int>(static_cast<size_t>(num_objects), cls);
+}
+
+}  // namespace dot

@@ -1,0 +1,82 @@
+#ifndef DOTPROV_WORKLOAD_WORKLOAD_H_
+#define DOTPROV_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "query/object_io.h"
+
+namespace dot {
+
+/// How the SLA constrains a workload (§2.4): per-query response-time caps
+/// for DSS workloads, an aggregate throughput floor for OLTP (§4.3).
+enum class SlaKind {
+  kPerQueryResponseTime,
+  kThroughput,
+};
+
+/// Performance estimate of one workload execution under one placement.
+struct PerfEstimate {
+  /// t(L, W): completion time of the whole workload, ms. For OLTP models
+  /// this is the fixed measurement period (§4.5: one hour).
+  double elapsed_ms = 0.0;
+
+  /// Per-unit times: one entry per query instance in the run sequence (DSS)
+  /// or the mix-weighted mean transaction latencies per type (OLTP).
+  std::vector<double> unit_times_ms;
+
+  /// Completed tasks per hour (queries for DSS, New-Order transactions for
+  /// OLTP). TOC per task = C(L) / tasks_per_hour (§2.1).
+  double tasks_per_hour = 0.0;
+
+  /// New-Order transactions per minute; 0 for DSS workloads.
+  double tpmc = 0.0;
+
+  /// Total per-object I/O of the execution (the basis of workload profiles
+  /// and of the refinement phase's runtime statistics).
+  ObjectIoMap io_by_object;
+
+  /// Join-method census across all planned queries (DSS only).
+  int num_joins = 0;
+  int num_index_nl_joins = 0;
+};
+
+/// A provisioning workload W: something DOT can ask for a performance
+/// estimate under any candidate placement. Implementations: DssWorkloadModel
+/// (plans each query with the storage-aware optimizer) and OltpWorkloadModel
+/// (transaction-mix I/O footprints at high concurrency).
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Degree of concurrency the workload runs at (§3.5: 1 for the DSS
+  /// experiments, 300 for TPC-C).
+  virtual double concurrency() const = 0;
+
+  virtual SlaKind sla_kind() const = 0;
+
+  /// Estimates performance under `placement` (object id → storage class).
+  virtual PerfEstimate Estimate(const std::vector<int>& placement) const = 0;
+
+  /// Like Estimate, but with each object's I/O counts multiplied by
+  /// `io_scale[o]` before timing. Models a workload whose true I/O deviates
+  /// from what the optimizer predicted — the situation the validation and
+  /// refinement phases exist to catch. An empty vector means no scaling.
+  virtual PerfEstimate EstimateWithIoScale(
+      const std::vector<int>& placement,
+      const std::vector<double>& io_scale) const;
+
+  /// True when the workload's plans cannot change with placement (§4.5.1:
+  /// TPC-C is all random access), letting the profiler collapse all
+  /// baseline layouts into one.
+  virtual bool PlansArePlacementInvariant() const { return false; }
+};
+
+/// Uniform placement: every object on storage class `cls`.
+std::vector<int> UniformPlacement(int num_objects, int cls);
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_WORKLOAD_H_

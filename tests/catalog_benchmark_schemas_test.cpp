@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "catalog/tpcc_schema.h"
+#include "catalog/tpch_schema.h"
+
+namespace dot {
+namespace {
+
+TEST(TpchSchemaTest, HasEightTablesAndEightPkIndices) {
+  Schema s = MakeTpchSchema(20.0);
+  EXPECT_EQ(s.NumObjects(), 16);
+  int tables = 0;
+  int indices = 0;
+  for (const DbObject& o : s.objects()) {
+    if (o.kind == ObjectKind::kTable) ++tables;
+    if (o.kind == ObjectKind::kPrimaryIndex) ++indices;
+  }
+  EXPECT_EQ(tables, 8);
+  EXPECT_EQ(indices, 8);
+}
+
+TEST(TpchSchemaTest, Sf20IsRoughlyThirtyGb) {
+  // §4.4: "a 30GB TPC-H database is generated (scale factor 20)".
+  Schema s = MakeTpchSchema(20.0);
+  EXPECT_GT(s.TotalSizeGb(), 22.0);
+  EXPECT_LT(s.TotalSizeGb(), 38.0);
+}
+
+TEST(TpchSchemaTest, CardinalitiesScaleWithSf) {
+  Schema s1 = MakeTpchSchema(1.0);
+  Schema s10 = MakeTpchSchema(10.0);
+  EXPECT_DOUBLE_EQ(s1.object(s1.FindObject("lineitem")).num_rows, 6e6);
+  EXPECT_DOUBLE_EQ(s10.object(s10.FindObject("lineitem")).num_rows, 6e7);
+  // region/nation do not scale.
+  EXPECT_DOUBLE_EQ(s10.object(s10.FindObject("region")).num_rows, 5);
+  EXPECT_DOUBLE_EQ(s10.object(s10.FindObject("nation")).num_rows, 25);
+}
+
+TEST(TpchSchemaTest, LineitemIsLargestObject) {
+  Schema s = MakeTpchSchema(20.0);
+  const double li = s.object(s.FindObject("lineitem")).size_gb;
+  for (const DbObject& o : s.objects()) {
+    if (o.name == "lineitem") continue;
+    EXPECT_LT(o.size_gb, li) << o.name;
+  }
+}
+
+TEST(TpchSchemaTest, PkeyNamingMatchesPostgres) {
+  Schema s = MakeTpchSchema(1.0);
+  EXPECT_GE(s.FindObject("partsupp_pkey"), 0);
+  EXPECT_EQ(s.object(s.FindObject("partsupp_pkey")).table_id,
+            s.FindObject("partsupp"));
+}
+
+TEST(TpchSchemaTest, EsSubsetHasEightObjects) {
+  // §4.4.3: lineitem, orders, customer, part and their indices.
+  Schema s = MakeTpchEsSubsetSchema(20.0);
+  EXPECT_EQ(s.NumObjects(), 8);
+  for (const char* name :
+       {"lineitem", "orders", "customer", "part", "lineitem_pkey",
+        "orders_pkey", "customer_pkey", "part_pkey"}) {
+    EXPECT_GE(s.FindObject(name), 0) << name;
+  }
+}
+
+TEST(TpccSchemaTest, HasNineTablesAndPaperIndices) {
+  Schema s = MakeTpccSchema(300);
+  int tables = 0;
+  for (const DbObject& o : s.objects()) {
+    if (o.kind == ObjectKind::kTable) ++tables;
+  }
+  EXPECT_EQ(tables, 9);
+  // Table 3 object names.
+  for (const char* name :
+       {"warehouse", "district", "customer", "history", "new_order",
+        "orders", "order_line", "item", "stock", "pk_warehouse",
+        "pk_district", "pk_customer", "pk_new_order", "pk_orders",
+        "pk_order_line", "pk_item", "pk_stock", "i_customer", "i_orders"}) {
+    EXPECT_GE(s.FindObject(name), 0) << name;
+  }
+  // history has no primary index (DBT-2).
+  EXPECT_EQ(s.PrimaryIndexOf(s.FindObject("history")), -1);
+}
+
+TEST(TpccSchemaTest, Sf300IsRoughlyThirtyGb) {
+  // §4.5: "populated a 30GB (scale factor 300) TPC-C database".
+  Schema s = MakeTpccSchema(300);
+  EXPECT_GT(s.TotalSizeGb(), 22.0);
+  EXPECT_LT(s.TotalSizeGb(), 40.0);
+}
+
+TEST(TpccSchemaTest, ItemIsGlobal) {
+  Schema s100 = MakeTpccSchema(100);
+  Schema s300 = MakeTpccSchema(300);
+  EXPECT_DOUBLE_EQ(s100.object(s100.FindObject("item")).num_rows,
+                   s300.object(s300.FindObject("item")).num_rows);
+  EXPECT_LT(s100.object(s100.FindObject("stock")).num_rows,
+            s300.object(s300.FindObject("stock")).num_rows);
+}
+
+TEST(TpccSchemaTest, SecondaryIndicesAttachToRightTables) {
+  Schema s = MakeTpccSchema(10);
+  EXPECT_EQ(s.object(s.FindObject("i_customer")).table_id,
+            s.FindObject("customer"));
+  EXPECT_EQ(s.object(s.FindObject("i_orders")).table_id,
+            s.FindObject("orders"));
+  EXPECT_EQ(s.object(s.FindObject("i_customer")).kind,
+            ObjectKind::kSecondaryIndex);
+}
+
+TEST(TpccSchemaTest, CustomerAndOrdersGroupsHaveThreeMembers) {
+  Schema s = MakeTpccSchema(10);
+  for (const ObjectGroup& g : s.MakeGroups()) {
+    if (g.table_id == s.FindObject("customer") ||
+        g.table_id == s.FindObject("orders")) {
+      EXPECT_EQ(g.size(), 3);
+    }
+  }
+}
+
+TEST(TpccSchemaTest, StockIsLargestTable) {
+  Schema s = MakeTpccSchema(300);
+  const double stock = s.object(s.FindObject("stock")).size_gb;
+  EXPECT_GT(stock, s.object(s.FindObject("customer")).size_gb * 0.5);
+  EXPECT_GT(stock, s.object(s.FindObject("orders")).size_gb);
+}
+
+}  // namespace
+}  // namespace dot

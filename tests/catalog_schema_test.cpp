@@ -1,0 +1,140 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcc_schema.h"
+#include "catalog/tpch_schema.h"
+
+namespace dot {
+namespace {
+
+TEST(SchemaTest, AddTableDerivesSize) {
+  Schema s;
+  const int t = s.AddTable("t", 1'000'000, 100);
+  const DbObject& o = s.object(t);
+  EXPECT_EQ(o.kind, ObjectKind::kTable);
+  // 100 MB of raw rows at 90% fill ~= 0.111 GB.
+  EXPECT_NEAR(o.size_gb, 0.1111, 0.001);
+  EXPECT_DOUBLE_EQ(o.num_rows, 1'000'000);
+  EXPECT_EQ(o.table_id, t);
+}
+
+TEST(SchemaTest, AddIndexDerivesGeometry) {
+  Schema s;
+  const int t = s.AddTable("t", 10'000'000, 100);
+  const int i = s.AddIndex("t_pkey", t, 8);
+  const DbObject& idx = s.object(i);
+  EXPECT_TRUE(idx.IsIndex());
+  EXPECT_EQ(idx.table_id, t);
+  EXPECT_GE(idx.height, 2);
+  EXPECT_LE(idx.height, 4);
+  EXPECT_GT(idx.leaf_pages, 0);
+  // An index is much smaller than its table.
+  EXPECT_LT(idx.size_gb, s.object(t).size_gb / 4);
+}
+
+TEST(SchemaTest, IndexHeightGrowsWithCardinality) {
+  Schema s;
+  const int small = s.AddTable("small", 1'000, 50);
+  const int big = s.AddTable("big", 100'000'000, 50);
+  const int si = s.AddIndex("si", small, 8);
+  const int bi = s.AddIndex("bi", big, 8);
+  EXPECT_LT(s.object(si).height, s.object(bi).height);
+}
+
+TEST(SchemaTest, FindObjectByName) {
+  Schema s;
+  s.AddTable("a", 10, 10);
+  s.AddTable("b", 10, 10);
+  EXPECT_EQ(s.FindObject("b"), 1);
+  EXPECT_EQ(s.FindObject("zzz"), -1);
+}
+
+TEST(SchemaTest, IndexesOfAndPrimaryIndexOf) {
+  Schema s;
+  const int t = s.AddTable("t", 1000, 10);
+  const int pk = s.AddIndex("pk_t", t, 4, ObjectKind::kPrimaryIndex);
+  const int sec = s.AddIndex("i_t", t, 8, ObjectKind::kSecondaryIndex);
+  EXPECT_EQ(s.IndexesOf(t), (std::vector<int>{pk, sec}));
+  EXPECT_EQ(s.PrimaryIndexOf(t), pk);
+}
+
+TEST(SchemaTest, PrimaryIndexOfTableWithoutIndexIsMinusOne) {
+  Schema s;
+  const int t = s.AddTable("t", 1000, 10);
+  EXPECT_EQ(s.PrimaryIndexOf(t), -1);
+}
+
+TEST(SchemaTest, AuxiliaryObjects) {
+  Schema s;
+  const int temp = s.AddAuxiliary("temp", ObjectKind::kTempSpace, 5.0);
+  EXPECT_DOUBLE_EQ(s.object(temp).size_gb, 5.0);
+  EXPECT_FALSE(s.object(temp).IsIndex());
+}
+
+TEST(SchemaTest, TotalSizeSumsAllObjects) {
+  Schema s;
+  s.AddTable("a", 1'000'000, 90);  // 0.1 GB
+  s.AddAuxiliary("log", ObjectKind::kLog, 2.0);
+  EXPECT_NEAR(s.TotalSizeGb(), 2.1, 0.01);
+}
+
+TEST(SchemaTest, GroupsPairTablesWithTheirIndices) {
+  Schema s;
+  const int a = s.AddTable("a", 1000, 10);
+  const int b = s.AddTable("b", 1000, 10);
+  const int a_pk = s.AddIndex("a_pk", a, 4);
+  const int b_pk = s.AddIndex("b_pk", b, 4);
+  const int b_sec = s.AddIndex("b_sec", b, 8, ObjectKind::kSecondaryIndex);
+  const int temp = s.AddAuxiliary("temp", ObjectKind::kTempSpace, 1.0);
+
+  const std::vector<ObjectGroup> groups = s.MakeGroups();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].members, (std::vector<int>{a, a_pk}));
+  EXPECT_EQ(groups[1].members, (std::vector<int>{b, b_pk, b_sec}));
+  EXPECT_EQ(groups[2].members, (std::vector<int>{temp}));
+  EXPECT_EQ(groups[2].table_id, -1);
+}
+
+TEST(SchemaTest, GroupsCoverEveryObjectExactlyOnce) {
+  Schema s = MakeTpccSchema(10);
+  std::vector<int> seen(static_cast<size_t>(s.NumObjects()), 0);
+  for (const ObjectGroup& g : s.MakeGroups()) {
+    for (int o : g.members) seen[static_cast<size_t>(o)] += 1;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(SchemaTest, SubsetPreservesSizesAndRemapsIds) {
+  Schema full = MakeTpchSchema(1.0);
+  Schema sub = full.Subset({"orders", "lineitem", "orders_pkey",
+                            "lineitem_pkey"});
+  EXPECT_EQ(sub.NumObjects(), 4);
+  const int li = sub.FindObject("lineitem");
+  ASSERT_GE(li, 0);
+  EXPECT_DOUBLE_EQ(sub.object(li).size_gb,
+                   full.object(full.FindObject("lineitem")).size_gb);
+  const int li_pk = sub.FindObject("lineitem_pkey");
+  EXPECT_EQ(sub.object(li_pk).table_id, li);
+}
+
+TEST(SchemaDeathTest, DuplicateNameAborts) {
+  Schema s;
+  s.AddTable("t", 10, 10);
+  EXPECT_DEATH(s.AddTable("t", 10, 10), "duplicate");
+}
+
+TEST(SchemaDeathTest, IndexOnIndexAborts) {
+  Schema s;
+  const int t = s.AddTable("t", 10, 10);
+  const int i = s.AddIndex("i", t, 4);
+  EXPECT_DEATH(s.AddIndex("j", i, 4), "must reference a table");
+}
+
+TEST(SchemaDeathTest, SubsetWithOrphanIndexAborts) {
+  Schema full = MakeTpchSchema(1.0);
+  EXPECT_DEATH(full.Subset({"lineitem_pkey"}), "without its table");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+
+namespace dot {
+namespace {
+
+TEST(StrUtilTest, FormatSigUsesSignificantDigits) {
+  EXPECT_EQ(FormatSig(3.47e-4, 3), "0.000347");
+  EXPECT_EQ(FormatSig(1.69e-1, 3), "0.169");
+  EXPECT_EQ(FormatSig(12345.678, 4), "1.235e+04");
+}
+
+TEST(StrUtilTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+}
+
+TEST(StrUtilTest, JoinHandlesEmptyAndMany) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "|"), "a|b|c");
+}
+
+TEST(StrUtilTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrPrintf("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("H-SSD RAID 0", "H-SSD"));
+  EXPECT_FALSE(StartsWith("L-SSD", "H-SSD"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersLine) {
+  TablePrinter t({"c"});
+  t.AddRow({"x"});
+  t.AddSeparator();
+  t.AddRow({"y"});
+  const std::string s = t.ToString();
+  // header sep + top + bottom + explicit = 4 separator lines
+  int count = 0;
+  for (size_t pos = 0; (pos = s.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(TablePrinterDeathTest, ArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "arity");
+}
+
+TEST(UnitsTest, PageMath) {
+  EXPECT_DOUBLE_EQ(PagesForGb(1.0), 1e9 / 8192.0);
+  EXPECT_NEAR(GbForPages(PagesForGb(13.37)), 13.37, 1e-12);
+}
+
+TEST(UnitsTest, AmortizationWindowIs36Months) {
+  EXPECT_DOUBLE_EQ(kAmortizationHours, 36.0 * 730.0);
+}
+
+TEST(UnitsTest, EnergyPriceMatchesPaper) {
+  // $0.07/kWh -> 0.007 cents per watt-hour.
+  EXPECT_DOUBLE_EQ(kCentsPerWattHour, 0.007);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,97 @@
+#include "dot/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "dot/layout.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+/// A deliberately tiny instance (2 tables + 2 indices on 2 classes =
+/// 81... 2^4 = 16 layouts) where the optimum can be verified by hand-rolled
+/// enumeration.
+class ExhaustiveTest : public ::testing::Test {
+ protected:
+  ExhaustiveTest() : box_(MakeBox1()) {
+    schema_ = MakeTpchSchema(2.0).Subset(
+        {"orders", "customer", "orders_pkey", "customer_pkey"});
+    auto all = MakeTpchTemplates();
+    templates_ = {all[12]};  // Q13: customer x orders
+    workload_ = std::make_unique<DssWorkloadModel>(
+        "tiny", &schema_, &box_, templates_, RepeatSequence(1, 3),
+        PlannerConfig{});
+    problem_.schema = &schema_;
+    problem_.box = &box_;
+    problem_.workload = workload_.get();
+    problem_.relative_sla = 0.5;
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  std::vector<QuerySpec> templates_;
+  std::unique_ptr<DssWorkloadModel> workload_;
+  DotProblem problem_;
+};
+
+TEST_F(ExhaustiveTest, EnumeratesEveryLayout) {
+  DotResult r = ExhaustiveSearch(problem_);
+  EXPECT_EQ(r.layouts_evaluated, 81);  // 3^4
+  ASSERT_TRUE(r.status.ok());
+}
+
+TEST_F(ExhaustiveTest, ReturnsTheTrueOptimum) {
+  DotResult es = ExhaustiveSearch(problem_);
+  ASSERT_TRUE(es.status.ok());
+  // Re-verify by manual enumeration.
+  DotOptimizer estimator(problem_);
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> placement(4, 0);
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int c = 0; c < 3; ++c)
+        for (int d = 0; d < 3; ++d) {
+          placement = {a, b, c, d};
+          Layout l(&schema_, &box_, placement);
+          if (!l.CheckCapacity().ok()) continue;
+          PerfEstimate est;
+          const double toc = estimator.EstimateToc(placement, &est);
+          if (!MeetsTargets(est, estimator.targets())) continue;
+          best = std::min(best, toc);
+        }
+  EXPECT_NEAR(es.toc_cents_per_task, best, best * 1e-12);
+}
+
+TEST_F(ExhaustiveTest, OptimumNeverWorseThanAnyUniformLayout) {
+  DotResult es = ExhaustiveSearch(problem_);
+  ASSERT_TRUE(es.status.ok());
+  DotOptimizer estimator(problem_);
+  for (int cls = 0; cls < box_.NumClasses(); ++cls) {
+    PerfEstimate est;
+    const double toc =
+        estimator.EstimateToc(UniformPlacement(4, cls), &est);
+    if (MeetsTargets(est, estimator.targets())) {
+      EXPECT_LE(es.toc_cents_per_task, toc * (1 + 1e-12));
+    }
+  }
+}
+
+TEST_F(ExhaustiveTest, InfeasibleWhenNothingFits) {
+  BoxConfig tiny = box_;
+  for (auto& sc : tiny.classes) sc.set_capacity_gb(0.001);
+  DotProblem p = problem_;
+  p.box = &tiny;
+  DotResult r = ExhaustiveSearch(p);
+  EXPECT_EQ(r.status.code(), StatusCode::kInfeasible);
+}
+
+TEST_F(ExhaustiveTest, GuardRejectsExplosiveInstances) {
+  EXPECT_DEATH((void)ExhaustiveSearch(problem_, /*max_layouts=*/10),
+               "exceeds the guard");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,150 @@
+#include "dot/moves.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/profiler.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+class MovesTest : public ::testing::Test {
+ protected:
+  MovesTest()
+      : schema_(MakeTpchSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 3), PlannerConfig{}),
+        profiler_(&schema_, &box_),
+        profiles_(profiler_.ProfileWorkload(
+            workload_, [&](const std::vector<int>& p) {
+              return workload_.Estimate(p);
+            })) {
+    problem_.schema = &schema_;
+    problem_.box = &box_;
+    problem_.workload = &workload_;
+    problem_.relative_sla = 0.5;
+    problem_.profiles = &profiles_;
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+  Profiler profiler_;
+  WorkloadProfiles profiles_;
+  DotProblem problem_;
+};
+
+TEST_F(MovesTest, EnumeratesMKPerGroupMinusIdentity) {
+  const auto groups = schema_.MakeGroups();
+  const auto moves = EnumerateMoves(problem_, groups);
+  // 8 groups of size 2 on 3 classes: 8 * (3^2 - 1) = 64.
+  EXPECT_EQ(moves.size(), 64u);
+}
+
+TEST_F(MovesTest, MovesAreSortedByScoreAscending) {
+  const auto moves = EnumerateMoves(problem_, schema_.MakeGroups());
+  for (size_t i = 1; i < moves.size(); ++i) {
+    EXPECT_LE(moves[i - 1].score, moves[i].score);
+  }
+}
+
+TEST_F(MovesTest, IdentityMoveIsSkipped) {
+  const int l0 = box_.MostExpensiveClass();
+  for (const Move& m : EnumerateMoves(problem_, schema_.MakeGroups())) {
+    const bool identity = std::all_of(
+        m.placement.begin(), m.placement.end(),
+        [&](int cls) { return cls == l0; });
+    EXPECT_FALSE(identity);
+  }
+}
+
+TEST_F(MovesTest, CostSavingsArePositiveOffThePremiumClass) {
+  // Moving anything off the H-SSD saves money (linear model, H-SSD most
+  // expensive).
+  for (const Move& m : EnumerateMoves(problem_, schema_.MakeGroups())) {
+    EXPECT_GE(m.dcost, 0.0);
+  }
+}
+
+TEST_F(MovesTest, ScoreIsPenaltyPerSaving) {
+  for (const Move& m : EnumerateMoves(problem_, schema_.MakeGroups())) {
+    if (m.dcost > 0.0 && std::isfinite(m.score)) {
+      EXPECT_NEAR(m.score, m.dtime_ms / m.dcost, 1e-9);
+    }
+  }
+}
+
+TEST_F(MovesTest, GroupTimeShareUsesPlacementSpecificProfile) {
+  const auto groups = schema_.MakeGroups();
+  // Find the lineitem group; its I/O time share on HDD RAID 0 must exceed
+  // that on H-SSD.
+  const int li = schema_.FindObject("lineitem");
+  for (const ObjectGroup& g : groups) {
+    if (g.table_id != li) continue;
+    const double on_hssd = GroupIoTimeShareMs(problem_, g, {2, 2});
+    const double on_hdd = GroupIoTimeShareMs(problem_, g, {0, 0});
+    EXPECT_GT(on_hdd, on_hssd);
+  }
+}
+
+TEST_F(MovesTest, LineitemFullDemotionSavesTheMostMoney) {
+  // δcost is layout-cost saving vs L0; the largest object moving to the
+  // cheapest class must have the largest saving of all enumerated moves.
+  const auto groups = schema_.MakeGroups();
+  const auto moves = EnumerateMoves(problem_, groups);
+  const int li = schema_.FindObject("lineitem");
+  double li_dcost = 0.0;
+  double max_dcost = 0.0;
+  for (const Move& m : moves) {
+    max_dcost = std::max(max_dcost, m.dcost);
+    if (groups[static_cast<size_t>(m.group)].table_id == li &&
+        m.placement == std::vector<int>{0, 0}) {
+      li_dcost = m.dcost;
+    }
+  }
+  EXPECT_GT(li_dcost, 0.0);
+  EXPECT_DOUBLE_EQ(li_dcost, max_dcost);
+}
+
+TEST_F(MovesTest, ProfileCapturesPlanFlipOnCheapBaselines) {
+  // On the all-premium baseline Q2 probes partsupp through its index; on
+  // the all-HDD-RAID-0 baseline the optimizer flips to sequential scans.
+  // The profiles must show random reads in the first case and none (or
+  // fewer) in the second — the interaction DOT's grouping exists for.
+  const int ps = schema_.FindObject("partsupp");
+  const double rr_premium =
+      profiles_.For(2, 2)[static_cast<size_t>(ps)][IoType::kRandRead];
+  const double rr_hdd =
+      profiles_.For(0, 0)[static_cast<size_t>(ps)][IoType::kRandRead];
+  const double sr_hdd =
+      profiles_.For(0, 0)[static_cast<size_t>(ps)][IoType::kSeqRead];
+  EXPECT_GT(rr_premium, 0.0);
+  EXPECT_LT(rr_hdd, rr_premium);
+  EXPECT_GT(sr_hdd, 0.0);
+}
+
+TEST_F(MovesTest, IoScaleHintInflatesTimeShare) {
+  const auto groups = schema_.MakeGroups();
+  const ObjectGroup& g = groups[0];
+  const double base = GroupIoTimeShareMs(problem_, g, {0, 0});
+  DotProblem scaled = problem_;
+  scaled.io_scale_hint.assign(static_cast<size_t>(schema_.NumObjects()),
+                              2.0);
+  EXPECT_NEAR(GroupIoTimeShareMs(scaled, g, {0, 0}), 2.0 * base,
+              base * 1e-9);
+}
+
+TEST_F(MovesTest, PlacementArityMismatchAborts) {
+  const auto groups = schema_.MakeGroups();
+  EXPECT_DEATH((void)GroupIoTimeShareMs(problem_, groups[0], {0}),
+               "arity");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,101 @@
+#include "dot/object_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "dot/layout.h"
+#include "dot/optimizer.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/profiler.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+class ObjectAdvisorTest : public ::testing::Test {
+ protected:
+  ObjectAdvisorTest()
+      : schema_(MakeTpchSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 3), PlannerConfig{}) {
+    problem_.schema = &schema_;
+    problem_.box = &box_;
+    problem_.workload = &workload_;
+    problem_.relative_sla = 0.5;
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+  DotProblem problem_;
+};
+
+TEST_F(ObjectAdvisorTest, ProducesACompleteValidPlacement) {
+  const std::vector<int> placement = ObjectAdvisorPlacement(problem_);
+  ASSERT_EQ(placement.size(), static_cast<size_t>(schema_.NumObjects()));
+  Layout layout(&schema_, &box_, placement);
+  EXPECT_TRUE(layout.CheckCapacity().ok());
+}
+
+TEST_F(ObjectAdvisorTest, PromotesHotObjectsOffTheCheapClass) {
+  const std::vector<int> placement = ObjectAdvisorPlacement(problem_);
+  int promoted = 0;
+  for (int cls : placement) {
+    if (cls != 0) ++promoted;  // class 0 (HDD RAID 0) is cheapest on Box 1
+  }
+  EXPECT_GT(promoted, 0);
+}
+
+TEST_F(ObjectAdvisorTest, IgnoresToc) {
+  // OA should spend more per hour than DOT at the same SLA — the paper's
+  // Figure 3 gap.
+  Profiler profiler(&schema_, &box_);
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      workload_,
+      [&](const std::vector<int>& p) { return workload_.Estimate(p); });
+  DotProblem p = problem_;
+  p.profiles = &profiles;
+  DotResult dot = DotOptimizer(p).Optimize();
+  ASSERT_TRUE(dot.status.ok());
+
+  const std::vector<int> oa = ObjectAdvisorPlacement(problem_);
+  DotOptimizer estimator(p);
+  PerfEstimate oa_est;
+  const double oa_toc = estimator.EstimateToc(oa, &oa_est);
+  EXPECT_GT(oa_toc, dot.toc_cents_per_task);
+}
+
+TEST_F(ObjectAdvisorTest, ColdObjectsStayPut) {
+  // Objects with zero I/O under the baseline plans are never promoted —
+  // the plan-interaction blindness the paper criticises.
+  const PerfEstimate baseline =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 0));
+  const std::vector<int> placement = ObjectAdvisorPlacement(problem_);
+  for (const DbObject& o : schema_.objects()) {
+    if (baseline.io_by_object[o.id].IsZero()) {
+      EXPECT_EQ(placement[o.id], 0) << o.name;
+    }
+  }
+}
+
+TEST_F(ObjectAdvisorTest, RespectsCapacityBudgets) {
+  BoxConfig capped = box_;
+  capped.classes[2].set_capacity_gb(1.0);  // H-SSD almost full
+  DssWorkloadModel workload("w", &schema_, &capped, MakeTpchTemplates(),
+                            RepeatSequence(22, 3), PlannerConfig{});
+  DotProblem p;
+  p.schema = &schema_;
+  p.box = &capped;
+  p.workload = &workload;
+  const std::vector<int> placement = ObjectAdvisorPlacement(p);
+  double on_hssd = 0;
+  for (const DbObject& o : schema_.objects()) {
+    if (placement[o.id] == 2) on_hssd += o.size_gb;
+  }
+  EXPECT_LT(on_hssd, 1.0);
+}
+
+}  // namespace
+}  // namespace dot

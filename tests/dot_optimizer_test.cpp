@@ -1,0 +1,191 @@
+#include "dot/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "dot/exhaustive.h"
+#include "dot/layout.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/profiler.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+/// Shared fixture: the §4.4.3 small instance (8 objects) where exhaustive
+/// search is tractable, so DOT can be judged against the true optimum.
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : schema_(MakeTpchEsSubsetSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H-ES", &schema_, &box_, MakeTpchSubsetTemplates(),
+                  RepeatSequence(11, 3), PlannerConfig{}),
+        profiler_(&schema_, &box_),
+        profiles_(profiler_.ProfileWorkload(
+            workload_, [&](const std::vector<int>& p) {
+              return workload_.Estimate(p);
+            })) {
+    problem_.schema = &schema_;
+    problem_.box = &box_;
+    problem_.workload = &workload_;
+    problem_.relative_sla = 0.5;
+    problem_.profiles = &profiles_;
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+  Profiler profiler_;
+  WorkloadProfiles profiles_;
+  DotProblem problem_;
+};
+
+TEST_F(OptimizerTest, FindsAFeasibleLayout) {
+  DotResult r = DotOptimizer(problem_).Optimize();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  Layout layout(&schema_, &box_, r.placement);
+  EXPECT_TRUE(layout.CheckCapacity().ok());
+  PerfEstimate est = workload_.Estimate(r.placement);
+  EXPECT_TRUE(MeetsTargets(est, r.targets));
+}
+
+TEST_F(OptimizerTest, BeatsTheAllPremiumLayout) {
+  DotResult r = DotOptimizer(problem_).Optimize();
+  ASSERT_TRUE(r.status.ok());
+  DotOptimizer opt(problem_);
+  const double toc_l0 = opt.EstimateToc(
+      UniformPlacement(schema_.NumObjects(), box_.MostExpensiveClass()),
+      nullptr);
+  EXPECT_LT(r.toc_cents_per_task, toc_l0);
+}
+
+TEST_F(OptimizerTest, EvaluatesLinearlyManyLayouts) {
+  DotResult r = DotOptimizer(problem_).Optimize();
+  // 4 groups x (3^2 - 1) = 32 moves per sweep, <= 5 sweeps, plus L0 —
+  // orders of magnitude below ES's 3^8 = 6561.
+  EXPECT_GE(r.layouts_evaluated, 33);
+  EXPECT_LE(r.layouts_evaluated, 1 + 5 * 32);
+}
+
+TEST_F(OptimizerTest, WithinPaperBandsOfExhaustiveSearch) {
+  // §4.4.3: "DOT's response time ... within 9% of ES in all cases, and its
+  // TOC was within 16% of ES in most cases." Allow modest headroom.
+  DotResult dot = DotOptimizer(problem_).Optimize();
+  DotResult es = ExhaustiveSearch(problem_);
+  ASSERT_TRUE(dot.status.ok());
+  ASSERT_TRUE(es.status.ok());
+  EXPECT_LE(es.toc_cents_per_task, dot.toc_cents_per_task * (1 + 1e-9));
+  EXPECT_LT(dot.toc_cents_per_task, es.toc_cents_per_task * 1.30);
+  EXPECT_LT(dot.estimate.elapsed_ms, es.estimate.elapsed_ms * 1.15);
+}
+
+TEST_F(OptimizerTest, RelaxingSlaNeverRaisesToc) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (double sla : {0.9, 0.5, 0.25, 0.125, 0.05}) {
+    DotProblem p = problem_;
+    p.relative_sla = sla;
+    DotResult r = DotOptimizer(p).Optimize();
+    ASSERT_TRUE(r.status.ok()) << "sla=" << sla;
+    EXPECT_LE(r.toc_cents_per_task, prev * (1 + 1e-9)) << "sla=" << sla;
+    prev = r.toc_cents_per_task;
+  }
+}
+
+TEST_F(OptimizerTest, StrictSlaPinsDataToPremiumStorage) {
+  DotProblem p = problem_;
+  p.relative_sla = 0.999;
+  DotResult r = DotOptimizer(p).Optimize();
+  ASSERT_TRUE(r.status.ok());
+  // At ~best-case targets nearly everything must stay on the H-SSD.
+  Layout layout(&schema_, &box_, r.placement);
+  const SpaceUsage used = layout.SpaceByClass();
+  EXPECT_GT(used[2], 0.5 * schema_.TotalSizeGb());
+}
+
+TEST_F(OptimizerTest, CapacityCapsAreRespected) {
+  BoxConfig capped = box_;
+  capped.classes[2].set_capacity_gb(5.0);  // H-SSD squeezed hard
+  DssWorkloadModel workload("w", &schema_, &capped,
+                            MakeTpchSubsetTemplates(), RepeatSequence(11, 3),
+                            PlannerConfig{});
+  Profiler profiler(&schema_, &capped);
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      workload,
+      [&](const std::vector<int>& p) { return workload.Estimate(p); });
+  DotProblem p;
+  p.schema = &schema_;
+  p.box = &capped;
+  p.workload = &workload;
+  p.relative_sla = 0.25;
+  p.profiles = &profiles;
+  DotResult r = DotOptimizer(p).Optimize();
+  if (r.status.ok()) {
+    Layout layout(&schema_, &capped, r.placement);
+    EXPECT_TRUE(layout.CheckCapacity().ok());
+    EXPECT_LT(layout.SpaceByClass()[2], 5.0);
+  }
+}
+
+TEST_F(OptimizerTest, ImpossibleConstraintsReportInfeasible) {
+  // Cap every class below the database size: no layout can fit.
+  BoxConfig tiny = box_;
+  for (auto& sc : tiny.classes) sc.set_capacity_gb(1.0);
+  DotProblem p = problem_;
+  p.box = &tiny;
+  DotResult r = DotOptimizer(p).Optimize();
+  EXPECT_EQ(r.status.code(), StatusCode::kInfeasible);
+  EXPECT_TRUE(r.placement.empty());
+}
+
+TEST_F(OptimizerTest, RelaxationLoopFindsFeasibleSla) {
+  // An SLA of ~1.0 with a capacity cap that forbids the premium class is
+  // infeasible; the relaxation loop should settle on a lower SLA.
+  BoxConfig capped = box_;
+  capped.classes[2].set_capacity_gb(2.0);
+  DssWorkloadModel workload("w", &schema_, &capped,
+                            MakeTpchSubsetTemplates(), RepeatSequence(11, 3),
+                            PlannerConfig{});
+  Profiler profiler(&schema_, &capped);
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      workload,
+      [&](const std::vector<int>& p) { return workload.Estimate(p); });
+  DotProblem p;
+  p.schema = &schema_;
+  p.box = &capped;
+  p.workload = &workload;
+  p.relative_sla = 0.99;
+  p.profiles = &profiles;
+  DotResult r = OptimizeWithRelaxation(p, /*relax_factor=*/0.9,
+                                       /*min_sla=*/0.01);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_LT(p.relative_sla, 0.99);
+}
+
+TEST_F(OptimizerTest, DiscreteCostModelProducesValidResult) {
+  DotProblem p = problem_;
+  p.cost_model.discrete = true;
+  p.cost_model.alpha = 0.5;
+  DotResult r = DotOptimizer(p).Optimize();
+  ASSERT_TRUE(r.status.ok());
+  Layout layout(&schema_, &box_, r.placement);
+  EXPECT_NEAR(r.layout_cost_cents_per_hour,
+              layout.CostCentsPerHour(p.cost_model), 1e-9);
+}
+
+TEST_F(OptimizerTest, MissingComponentAborts) {
+  DotProblem p = problem_;
+  p.workload = nullptr;
+  EXPECT_DEATH(DotOptimizer{p}, "missing");
+}
+
+TEST_F(OptimizerTest, OptimizeWithoutProfilesAborts) {
+  DotProblem p = problem_;
+  p.profiles = nullptr;
+  DotOptimizer opt(p);
+  EXPECT_DEATH((void)opt.Optimize(), "profiles");
+}
+
+}  // namespace
+}  // namespace dot

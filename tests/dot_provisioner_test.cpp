@@ -1,0 +1,96 @@
+#include "dot/provisioner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/profiler.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+/// Holds everything one configuration option needs alive.
+struct OptionState {
+  BoxConfig box;
+  std::unique_ptr<DssWorkloadModel> workload;
+  std::unique_ptr<WorkloadProfiles> profiles;
+};
+
+class ProvisionerTest : public ::testing::Test {
+ protected:
+  ProvisionerTest() : schema_(MakeTpchEsSubsetSchema(20.0)) {}
+
+  ProvisioningOption MakeOption(const BoxConfig& box, double sla) {
+    auto state = std::make_shared<OptionState>();
+    state->box = box;
+    state->workload = std::make_unique<DssWorkloadModel>(
+        box.name, &schema_, &state->box, MakeTpchSubsetTemplates(),
+        RepeatSequence(11, 3), PlannerConfig{});
+    Profiler profiler(&schema_, &state->box);
+    state->profiles =
+        std::make_unique<WorkloadProfiles>(profiler.ProfileWorkload(
+            *state->workload, [state](const std::vector<int>& p) {
+              return state->workload->Estimate(p);
+            }));
+    ProvisioningOption option;
+    option.name = box.name;
+    option.make_problem = [this, state, sla]() {
+      DotProblem p;
+      p.schema = &schema_;
+      p.box = &state->box;
+      p.workload = state->workload.get();
+      p.relative_sla = sla;
+      p.profiles = state->profiles.get();
+      return p;
+    };
+    return option;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(ProvisionerTest, PicksTheCheaperFeasibleBox) {
+  std::vector<ProvisioningOption> options;
+  options.push_back(MakeOption(MakeBox1(), 0.5));
+  options.push_back(MakeOption(MakeBox2(), 0.5));
+  ProvisioningResult r = ProvisionOverOptions(options);
+  ASSERT_GE(r.best_option, 0);
+  ASSERT_EQ(r.per_option.size(), 2u);
+  for (const DotResult& res : r.per_option) {
+    if (res.status.ok()) {
+      EXPECT_GE(res.toc_cents_per_task,
+                r.best.toc_cents_per_task * (1 - 1e-12));
+    }
+  }
+  EXPECT_EQ(r.best_name, options[static_cast<size_t>(r.best_option)].name);
+}
+
+TEST_F(ProvisionerTest, SkipsInfeasibleOptions) {
+  BoxConfig tiny = MakeBox1();
+  for (auto& sc : tiny.classes) sc.set_capacity_gb(0.01);
+  tiny.name = "tiny box";
+  std::vector<ProvisioningOption> options;
+  options.push_back(MakeOption(tiny, 0.5));
+  options.push_back(MakeOption(MakeBox2(), 0.5));
+  ProvisioningResult r = ProvisionOverOptions(options);
+  EXPECT_EQ(r.best_option, 1);
+  EXPECT_FALSE(r.per_option[0].status.ok());
+  EXPECT_TRUE(r.per_option[1].status.ok());
+}
+
+TEST_F(ProvisionerTest, NoFeasibleOptionReportsMinusOne) {
+  BoxConfig tiny = MakeBox1();
+  for (auto& sc : tiny.classes) sc.set_capacity_gb(0.01);
+  std::vector<ProvisioningOption> options;
+  options.push_back(MakeOption(tiny, 0.5));
+  ProvisioningResult r = ProvisionOverOptions(options);
+  EXPECT_EQ(r.best_option, -1);
+  EXPECT_TRUE(r.best_name.empty());
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,94 @@
+#include "dot/sla.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcc_schema.h"
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+class SlaTest : public ::testing::Test {
+ protected:
+  SlaTest()
+      : schema_(MakeTpchSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 1), PlannerConfig{}) {}
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+};
+
+TEST_F(SlaTest, CapsAreBestTimesOverRelativeSla) {
+  PerfTargets t =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 0.5);
+  ASSERT_EQ(t.query_caps_ms.size(), 22u);
+  for (size_t i = 0; i < t.query_caps_ms.size(); ++i) {
+    EXPECT_NEAR(t.query_caps_ms[i], t.best_case.unit_times_ms[i] / 0.5,
+                1e-9);
+  }
+}
+
+TEST_F(SlaTest, BestCaseAlwaysMeetsItsOwnTargets) {
+  PerfTargets t =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 1.0);
+  EXPECT_TRUE(MeetsTargets(t.best_case, t));
+  EXPECT_DOUBLE_EQ(Psr(t.best_case, t), 1.0);
+}
+
+TEST_F(SlaTest, LooserSlaAdmitsSlowerLayouts) {
+  PerfEstimate on_hdd_raid =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 0));
+  PerfTargets strict =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 0.9);
+  PerfTargets loose =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 0.05);
+  EXPECT_FALSE(MeetsTargets(on_hdd_raid, strict));
+  EXPECT_TRUE(MeetsTargets(on_hdd_raid, loose));
+}
+
+TEST_F(SlaTest, PsrCountsViolatingQueries) {
+  PerfTargets t =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 1.0);
+  PerfEstimate est = t.best_case;
+  // Push 3 of 22 queries over their caps.
+  est.unit_times_ms[0] *= 10;
+  est.unit_times_ms[5] *= 10;
+  est.unit_times_ms[9] *= 10;
+  EXPECT_NEAR(Psr(est, t), 19.0 / 22.0, 1e-12);
+  EXPECT_FALSE(MeetsTargets(est, t));
+}
+
+TEST_F(SlaTest, ThroughputTargets) {
+  Schema tpcc = MakeTpccSchema(300);
+  BoxConfig box2 = MakeBox2();
+  auto oltp = MakeTpccWorkload(&tpcc, &box2, TpccConfig{});
+  PerfTargets t = MakePerfTargets(*oltp, box2, tpcc.NumObjects(), 0.25);
+  EXPECT_EQ(t.kind, SlaKind::kThroughput);
+  EXPECT_NEAR(t.min_tpmc, t.best_case.tpmc * 0.25, 1e-9);
+
+  PerfEstimate slow =
+      oltp->Estimate(UniformPlacement(tpcc.NumObjects(), 0));
+  // PSR is binary for throughput workloads.
+  const double psr = Psr(slow, t);
+  EXPECT_TRUE(psr == 0.0 || psr == 1.0);
+  EXPECT_EQ(MeetsTargets(slow, t), psr == 1.0);
+}
+
+TEST_F(SlaTest, RejectsOutOfRangeSla) {
+  EXPECT_DEATH(
+      (void)MakePerfTargets(workload_, box_, schema_.NumObjects(), 0.0),
+      "relative SLA");
+  EXPECT_DEATH(
+      (void)MakePerfTargets(workload_, box_, schema_.NumObjects(), 1.5),
+      "relative SLA");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,84 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : schema_(MakeTpchSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 1), PlannerConfig{}) {}
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+};
+
+TEST_F(ExecutorTest, NoiselessRunEqualsEstimate) {
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.0;
+  Executor exec(&workload_, cfg);
+  const auto placement = UniformPlacement(schema_.NumObjects(), 2);
+  PerfEstimate run = exec.Run(placement);
+  PerfEstimate est = workload_.Estimate(placement);
+  EXPECT_DOUBLE_EQ(run.elapsed_ms, est.elapsed_ms);
+  EXPECT_EQ(run.unit_times_ms, est.unit_times_ms);
+}
+
+TEST_F(ExecutorTest, NoiseJittersButStaysClose) {
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.05;
+  cfg.seed = 11;
+  Executor exec(&workload_, cfg);
+  const auto placement = UniformPlacement(schema_.NumObjects(), 2);
+  PerfEstimate est = workload_.Estimate(placement);
+  PerfEstimate run = exec.Run(placement);
+  EXPECT_NE(run.elapsed_ms, est.elapsed_ms);
+  EXPECT_NEAR(run.elapsed_ms, est.elapsed_ms, est.elapsed_ms * 0.2);
+}
+
+TEST_F(ExecutorTest, RunsAreReproducibleAcrossExecutors) {
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.1;
+  cfg.seed = 99;
+  Executor a(&workload_, cfg);
+  Executor b(&workload_, cfg);
+  const auto placement = UniformPlacement(schema_.NumObjects(), 1);
+  EXPECT_DOUBLE_EQ(a.Run(placement).elapsed_ms, b.Run(placement).elapsed_ms);
+}
+
+TEST_F(ExecutorTest, ConsecutiveRunsDiffer) {
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.1;
+  Executor exec(&workload_, cfg);
+  const auto placement = UniformPlacement(schema_.NumObjects(), 1);
+  EXPECT_NE(exec.Run(placement).elapsed_ms, exec.Run(placement).elapsed_ms);
+}
+
+TEST_F(ExecutorTest, IoScaleInjectionSlowsMeasurement) {
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.0;
+  cfg.io_scale.assign(static_cast<size_t>(schema_.NumObjects()), 1.0);
+  cfg.io_scale[static_cast<size_t>(schema_.FindObject("lineitem"))] = 4.0;
+  Executor exec(&workload_, cfg);
+  const auto placement = UniformPlacement(schema_.NumObjects(), 0);
+  PerfEstimate run = exec.Run(placement);
+  PerfEstimate est = workload_.Estimate(placement);
+  EXPECT_GT(run.elapsed_ms, est.elapsed_ms * 1.5);
+  // Measured I/O statistics reflect the true (scaled) counts.
+  const int li = schema_.FindObject("lineitem");
+  EXPECT_NEAR(run.io_by_object[li].Total(),
+              4.0 * est.io_by_object[li].Total(), 1e-6);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,288 @@
+// End-to-end pipeline tests: profiling -> optimization -> validation on the
+// paper's two benchmark workloads and both box configurations, checking the
+// *qualitative* results the evaluation section reports.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dot/dot.h"
+
+namespace dot {
+namespace {
+
+/// Bundles one fully-wired DSS provisioning instance.
+struct DssInstance {
+  Schema schema;
+  BoxConfig box;
+  std::unique_ptr<DssWorkloadModel> workload;
+  std::unique_ptr<WorkloadProfiles> profiles;
+  DotProblem problem;
+};
+
+std::unique_ptr<DssInstance> MakeInstance(BoxConfig box,
+                                          std::vector<QuerySpec> templates,
+                                          int reps, double sla) {
+  auto inst = std::make_unique<DssInstance>();
+  inst->schema = MakeTpchSchema(20.0);
+  inst->box = std::move(box);
+  const int n_templates = static_cast<int>(templates.size());
+  inst->workload = std::make_unique<DssWorkloadModel>(
+      "w", &inst->schema, &inst->box, std::move(templates),
+      RepeatSequence(n_templates, reps), PlannerConfig{});
+  Profiler profiler(&inst->schema, &inst->box);
+  inst->profiles =
+      std::make_unique<WorkloadProfiles>(profiler.ProfileWorkload(
+          *inst->workload, [&inst](const std::vector<int>& p) {
+            return inst->workload->Estimate(p);
+          }));
+  inst->problem.schema = &inst->schema;
+  inst->problem.box = &inst->box;
+  inst->problem.workload = inst->workload.get();
+  inst->problem.relative_sla = sla;
+  inst->problem.profiles = inst->profiles.get();
+  return inst;
+}
+
+TEST(IntegrationTpch, OriginalWorkloadSavesOver3xOnBothBoxes) {
+  // Figure 3's headline: DOT >= ~3x TOC saving vs All H-SSD at SLA 0.5,
+  // with estimated PSR 100%.
+  for (BoxConfig box : {MakeBox1(), MakeBox2()}) {
+    auto inst = MakeInstance(box, MakeTpchTemplates(), 3, 0.5);
+    DotOptimizer optimizer(inst->problem);
+    DotResult r = optimizer.Optimize();
+    ASSERT_TRUE(r.status.ok()) << box.name;
+    const double toc_hssd = optimizer.EstimateToc(
+        UniformPlacement(inst->schema.NumObjects(), 2), nullptr);
+    EXPECT_GT(toc_hssd / r.toc_cents_per_task, 3.0) << box.name;
+    EXPECT_DOUBLE_EQ(Psr(r.estimate, r.targets), 1.0) << box.name;
+  }
+}
+
+TEST(IntegrationTpch, DotBeatsObjectAdvisorOnToc) {
+  // Figure 3: "our heuristic layouts outperform the ones produced by OA".
+  for (BoxConfig box : {MakeBox1(), MakeBox2()}) {
+    auto inst = MakeInstance(box, MakeTpchTemplates(), 3, 0.5);
+    DotOptimizer optimizer(inst->problem);
+    DotResult dot = optimizer.Optimize();
+    ASSERT_TRUE(dot.status.ok());
+    const std::vector<int> oa = ObjectAdvisorPlacement(inst->problem);
+    PerfEstimate oa_est;
+    const double oa_toc = optimizer.EstimateToc(oa, &oa_est);
+    EXPECT_LT(dot.toc_cents_per_task, oa_toc) << box.name;
+  }
+}
+
+TEST(IntegrationTpch, SimpleLayoutsMissSlaOrCostMore) {
+  // Figure 3: every simple layout except All H-SSD fails some caps (PSR <
+  // 100%) — or, if it passes, cannot beat DOT's TOC.
+  auto inst = MakeInstance(MakeBox1(), MakeTpchTemplates(), 3, 0.5);
+  DotOptimizer optimizer(inst->problem);
+  DotResult dot = optimizer.Optimize();
+  ASSERT_TRUE(dot.status.ok());
+  for (const NamedLayout& l : MakeSimpleLayouts(inst->schema, inst->box)) {
+    PerfEstimate est;
+    const double toc = optimizer.EstimateToc(l.placement, &est);
+    const double psr = Psr(est, optimizer.targets());
+    if (l.name == "All H-SSD") {
+      EXPECT_DOUBLE_EQ(psr, 1.0);
+    } else {
+      EXPECT_TRUE(psr < 1.0 || toc >= dot.toc_cents_per_task) << l.name;
+    }
+  }
+}
+
+TEST(IntegrationTpch, ModifiedWorkloadKeepsMoreDataOnPremium) {
+  // Figure 4 vs Figure 6: under the modified (selective) workload at SLA
+  // 0.5, DOT parks a much larger share of the database on the H-SSD than
+  // under the original workload.
+  auto orig = MakeInstance(MakeBox1(), MakeTpchTemplates(), 3, 0.5);
+  auto mod = MakeInstance(MakeBox1(), MakeModifiedTpchTemplates(), 20, 0.5);
+  DotResult r_orig = DotOptimizer(orig->problem).Optimize();
+  DotResult r_mod = DotOptimizer(mod->problem).Optimize();
+  ASSERT_TRUE(r_orig.status.ok());
+  ASSERT_TRUE(r_mod.status.ok());
+  const double hssd_orig =
+      Layout(&orig->schema, &orig->box, r_orig.placement).SpaceByClass()[2];
+  const double hssd_mod =
+      Layout(&mod->schema, &mod->box, r_mod.placement).SpaceByClass()[2];
+  EXPECT_GT(hssd_mod, hssd_orig);
+}
+
+TEST(IntegrationTpch, ModifiedWorkloadSlaRelaxationDemotesBulkData) {
+  // Figure 6 vs Figure 7: relaxing the SLA from 0.5 to 0.25 moves bulk
+  // objects off the H-SSD and cuts the TOC further.
+  auto at50 = MakeInstance(MakeBox1(), MakeModifiedTpchTemplates(), 20, 0.5);
+  auto at25 =
+      MakeInstance(MakeBox1(), MakeModifiedTpchTemplates(), 20, 0.25);
+  DotResult r50 = DotOptimizer(at50->problem).Optimize();
+  DotResult r25 = DotOptimizer(at25->problem).Optimize();
+  ASSERT_TRUE(r50.status.ok());
+  ASSERT_TRUE(r25.status.ok());
+  EXPECT_LT(r25.toc_cents_per_task, r50.toc_cents_per_task);
+  const double hssd50 =
+      Layout(&at50->schema, &at50->box, r50.placement).SpaceByClass()[2];
+  const double hssd25 =
+      Layout(&at25->schema, &at25->box, r25.placement).SpaceByClass()[2];
+  EXPECT_LT(hssd25, hssd50);
+}
+
+/// TPC-C end-to-end (throughput SLA, test-run profiling).
+class IntegrationTpcc : public ::testing::Test {
+ protected:
+  IntegrationTpcc()
+      : schema_(MakeTpccSchema(300)),
+        box_(MakeBox2()),
+        workload_(MakeTpccWorkload(&schema_, &box_, TpccConfig{})) {
+    Profiler profiler(&schema_, &box_);
+    profiles_ = std::make_unique<WorkloadProfiles>(profiler.ProfileWorkload(
+        *workload_, [&](const std::vector<int>& p) {
+          ExecutorConfig noiseless;
+          noiseless.noise_cv = 0.0;
+          Executor e(workload_.get(), noiseless);
+          return e.Run(p);  // §3.4 option (b): a sample test run
+        }));
+    problem_.schema = &schema_;
+    problem_.box = &box_;
+    problem_.workload = workload_.get();
+    problem_.profiles = profiles_.get();
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  std::unique_ptr<OltpWorkloadModel> workload_;
+  std::unique_ptr<WorkloadProfiles> profiles_;
+  DotProblem problem_;
+};
+
+TEST_F(IntegrationTpcc, TocDropsAsSlaRelaxes) {
+  // Figure 8: the TOC with DOT decreases (weakly) as the relative SLA is
+  // relaxed, and always undercuts All H-SSD.
+  DotOptimizer base(problem_);
+  const double toc_hssd = base.EstimateToc(
+      UniformPlacement(schema_.NumObjects(), 2), nullptr);
+  double prev_toc = std::numeric_limits<double>::infinity();
+  for (double sla : {0.5, 0.25, 0.125}) {
+    DotProblem p = problem_;
+    p.relative_sla = sla;
+    DotResult r = DotOptimizer(p).Optimize();
+    ASSERT_TRUE(r.status.ok()) << "sla=" << sla;
+    EXPECT_GE(r.estimate.tpmc, r.targets.min_tpmc * (1 - 1e-9));
+    EXPECT_LE(r.toc_cents_per_task, prev_toc * (1 + 1e-9));
+    prev_toc = r.toc_cents_per_task;
+  }
+  EXPECT_LT(prev_toc, toc_hssd);
+}
+
+TEST(IntegrationTpccBox1, TocSavingAtLooseSlaExceeds3x) {
+  // §4.5.2's headline: "DOT on Box1 with the relative SLA = 0.125 has
+  // about 3X smaller TOC compared to the All H-SSD case." (On Box 2 the
+  // hot bulk objects must stay premium — Table 3 — so the saving there is
+  // modest.)
+  Schema schema = MakeTpccSchema(300);
+  BoxConfig box = MakeBox1();
+  auto workload = MakeTpccWorkload(&schema, &box, TpccConfig{});
+  Profiler profiler(&schema, &box);
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      *workload, [&](const std::vector<int>& p) {
+        ExecutorConfig noiseless;
+        noiseless.noise_cv = 0.0;
+        Executor e(workload.get(), noiseless);
+        return e.Run(p);
+      });
+  DotProblem problem;
+  problem.schema = &schema;
+  problem.box = &box;
+  problem.workload = workload.get();
+  problem.relative_sla = 0.125;
+  problem.profiles = &profiles;
+  DotResult r = DotOptimizer(problem).Optimize();
+  ASSERT_TRUE(r.status.ok());
+  DotOptimizer base(problem);
+  const double toc_hssd =
+      base.EstimateToc(UniformPlacement(schema.NumObjects(), 2), nullptr);
+  EXPECT_GT(toc_hssd / r.toc_cents_per_task, 3.0);
+}
+
+TEST_F(IntegrationTpcc, RelaxedSlaShiftsObjectsToCheaperClasses) {
+  // Table 3's trend: "as the relative SLA is relaxed, more objects are
+  // shifted from the expensive storage classes to the cheaper ones."
+  double prev_hssd = std::numeric_limits<double>::infinity();
+  for (double sla : {0.5, 0.25, 0.125}) {
+    DotProblem p = problem_;
+    p.relative_sla = sla;
+    DotResult r = DotOptimizer(p).Optimize();
+    ASSERT_TRUE(r.status.ok());
+    const double on_hssd =
+        Layout(&schema_, &box_, r.placement).SpaceByClass()[2];
+    EXPECT_LE(on_hssd, prev_hssd * (1 + 1e-9)) << "sla=" << sla;
+    prev_hssd = on_hssd;
+  }
+}
+
+TEST_F(IntegrationTpcc, HotSmallTablesStayOnPremium) {
+  // Table 3: warehouse and district (tiny, update-hot) remain on the H-SSD
+  // even at the loosest SLA; item (read-mostly, cache-friendly) does not.
+  DotProblem p = problem_;
+  p.relative_sla = 0.125;
+  DotResult r = DotOptimizer(p).Optimize();
+  ASSERT_TRUE(r.status.ok());
+  Layout layout(&schema_, &box_, r.placement);
+  EXPECT_EQ(layout.ClassOf(schema_.FindObject("district")), 2);
+  EXPECT_NE(layout.ClassOf(schema_.FindObject("item")), 2);
+}
+
+TEST_F(IntegrationTpcc, DotMatchesExhaustiveOnTpcc) {
+  // Figure 9: "ES and DOT achieve almost same result (tpmC and TOC)".
+  // 3^19 is intractable, so compare on a reduced schema the way the bench
+  // does for feasibility of the test: full mix but SLA 0.25.
+  DotProblem p = problem_;
+  p.relative_sla = 0.25;
+  DotResult dot = DotOptimizer(p).Optimize();
+  ASSERT_TRUE(dot.status.ok());
+  // ES is infeasible to run on 19 objects; instead assert DOT's TOC beats
+  // every uniform layout that meets the SLA (a necessary optimality
+  // condition ES would also satisfy).
+  DotOptimizer estimator(p);
+  for (int cls = 0; cls < box_.NumClasses(); ++cls) {
+    PerfEstimate est;
+    const double toc = estimator.EstimateToc(
+        UniformPlacement(schema_.NumObjects(), cls), &est);
+    if (MeetsTargets(est, estimator.targets())) {
+      EXPECT_LE(dot.toc_cents_per_task, toc * (1 + 1e-9));
+    }
+  }
+}
+
+TEST_F(IntegrationTpcc, CappedHssdStillSolvable) {
+  // Figure 9(b): H-SSD capped at 21 GB forces a relaxation (the paper
+  // settles at relative SLA 0.13).
+  BoxConfig capped = box_;
+  capped.classes[2].set_capacity_gb(21.0);
+  auto workload = MakeTpccWorkload(&schema_, &capped, TpccConfig{});
+  DotProblem p;
+  p.schema = &schema_;
+  p.box = &capped;
+  p.workload = workload.get();
+  p.relative_sla = 0.25;
+  p.profiles = profiles_.get();
+  DotResult r = OptimizeWithRelaxation(p, 0.95, 0.01);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  Layout layout(&schema_, &capped, r.placement);
+  EXPECT_TRUE(layout.CheckCapacity().ok());
+  EXPECT_LT(layout.SpaceByClass()[2], 21.0);
+}
+
+TEST(IntegrationPipeline, FullPipelineValidatesOnTpch) {
+  auto inst = MakeInstance(MakeBox2(), MakeTpchTemplates(), 3, 0.5);
+  PipelineConfig cfg;
+  cfg.exec.noise_cv = 0.01;
+  cfg.exec.seed = 3;
+  cfg.validation_tolerance = 0.10;
+  PipelineResult r = RunDotPipeline(inst->problem, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_TRUE(r.final.status.ok());
+}
+
+}  // namespace
+}  // namespace dot

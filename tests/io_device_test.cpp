@@ -1,0 +1,142 @@
+#include "io/device_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/standard_catalog.h"
+
+namespace dot {
+namespace {
+
+DeviceModel MakeTestDevice() {
+  std::array<LatencyAnchors, kNumIoTypes> anchors{};
+  anchors[0] = {0.072, 0.174};  // SR: degrades under concurrency (HDD-like)
+  anchors[1] = {13.32, 8.903};  // RR: improves (elevator scheduling)
+  anchors[2] = {0.012, 0.039};
+  anchors[3] = {10.15, 8.124};
+  return DeviceModel("test-hdd", anchors);
+}
+
+TEST(DeviceModelTest, InterpolationHitsBothAnchors) {
+  const DeviceModel d = MakeTestDevice();
+  for (IoType t : kAllIoTypes) {
+    EXPECT_NEAR(d.LatencyMs(t, 1.0), d.anchors(t).at_c1_ms, 1e-12);
+    EXPECT_NEAR(d.LatencyMs(t, 300.0), d.anchors(t).at_c300_ms, 1e-9);
+  }
+}
+
+TEST(DeviceModelTest, InterpolationIsMonotoneBetweenAnchors) {
+  const DeviceModel d = MakeTestDevice();
+  // SR worsens with concurrency; RR improves. Check strict monotonicity on
+  // a grid.
+  double prev_sr = d.LatencyMs(IoType::kSeqRead, 1.0);
+  double prev_rr = d.LatencyMs(IoType::kRandRead, 1.0);
+  for (double c = 2.0; c <= 300.0; c *= 1.7) {
+    const double sr = d.LatencyMs(IoType::kSeqRead, c);
+    const double rr = d.LatencyMs(IoType::kRandRead, c);
+    EXPECT_GT(sr, prev_sr) << "c=" << c;
+    EXPECT_LT(rr, prev_rr) << "c=" << c;
+    prev_sr = sr;
+    prev_rr = rr;
+  }
+}
+
+TEST(DeviceModelTest, ClampsBeyondCalibrationRange) {
+  const DeviceModel d = MakeTestDevice();
+  EXPECT_DOUBLE_EQ(d.LatencyMs(IoType::kRandRead, 300.0),
+                   d.LatencyMs(IoType::kRandRead, 1000.0));
+}
+
+TEST(DeviceModelTest, InterpolationStaysWithinAnchorEnvelope) {
+  const DeviceModel d = MakeTestDevice();
+  for (IoType t : kAllIoTypes) {
+    const double lo = std::min(d.anchors(t).at_c1_ms, d.anchors(t).at_c300_ms);
+    const double hi = std::max(d.anchors(t).at_c1_ms, d.anchors(t).at_c300_ms);
+    for (double c = 1.0; c <= 300.0; c *= 2.0) {
+      const double v = d.LatencyMs(t, c);
+      EXPECT_GE(v, lo - 1e-12);
+      EXPECT_LE(v, hi + 1e-12);
+    }
+  }
+}
+
+TEST(DeviceModelTest, GeometricInterpolationMidpoint) {
+  const DeviceModel d = MakeTestDevice();
+  // At c = sqrt(300), the exponent is 0.5: latency = geometric mean.
+  const double c_mid = std::sqrt(300.0);
+  const LatencyAnchors& a = d.anchors(IoType::kRandRead);
+  EXPECT_NEAR(d.LatencyMs(IoType::kRandRead, c_mid),
+              std::sqrt(a.at_c1_ms * a.at_c300_ms), 1e-9);
+}
+
+TEST(DeviceModelTest, TimeForMsPricesEachType) {
+  const DeviceModel d = MakeTestDevice();
+  IoVector io;
+  io[IoType::kSeqRead] = 100;
+  io[IoType::kRandRead] = 2;
+  const double expected = 100 * 0.072 + 2 * 13.32;
+  EXPECT_NEAR(d.TimeForMs(io, 1.0), expected, 1e-9);
+}
+
+TEST(DeviceModelTest, TimeForZeroIoIsZero) {
+  const DeviceModel d = MakeTestDevice();
+  EXPECT_DOUBLE_EQ(d.TimeForMs(IoVector{}, 1.0), 0.0);
+}
+
+TEST(DeviceModelDeathTest, RejectsSubUnitConcurrency) {
+  const DeviceModel d = MakeTestDevice();
+  EXPECT_DEATH((void)d.LatencyMs(IoType::kSeqRead, 0.5), "concurrency");
+}
+
+TEST(DeviceModelDeathTest, RejectsNonPositiveAnchors) {
+  std::array<LatencyAnchors, kNumIoTypes> anchors{};
+  EXPECT_DEATH(DeviceModel("bad", anchors), "non-positive");
+}
+
+TEST(Raid0Test, SingleStripeIsIdentity) {
+  const DeviceModel base = MakeTestDevice();
+  const DeviceModel raid = MakeRaid0(base, 1, "same");
+  for (IoType t : kAllIoTypes) {
+    EXPECT_DOUBLE_EQ(raid.anchors(t).at_c1_ms, base.anchors(t).at_c1_ms);
+  }
+}
+
+TEST(Raid0Test, StripingNeverSlowsAnyPattern) {
+  const DeviceModel base = MakeTestDevice();
+  const DeviceModel raid = MakeRaid0(base, 2, "raid");
+  for (IoType t : kAllIoTypes) {
+    EXPECT_LE(raid.anchors(t).at_c1_ms, base.anchors(t).at_c1_ms);
+    EXPECT_LE(raid.anchors(t).at_c300_ms, base.anchors(t).at_c300_ms);
+  }
+}
+
+TEST(Raid0Test, SequentialGainTracksMeasuredPair) {
+  // The derived 2-way RAID 0 should land near the measured HDD->HDD RAID 0
+  // sequential-read improvement from Table 1 (x1.47).
+  const StorageClass hdd = MakeStockClass(StockClass::kHdd);
+  const DeviceModel raid = MakeRaid0(hdd.device(), 2, "derived");
+  const double gain = hdd.device().anchors(IoType::kSeqRead).at_c1_ms /
+                      raid.anchors(IoType::kSeqRead).at_c1_ms;
+  EXPECT_GT(gain, 1.3);
+  EXPECT_LT(gain, 1.8);
+}
+
+TEST(Raid0Test, MoreStripesMoreSequentialSpeedup) {
+  const DeviceModel base = MakeTestDevice();
+  const DeviceModel r2 = MakeRaid0(base, 2, "r2");
+  const DeviceModel r4 = MakeRaid0(base, 4, "r4");
+  EXPECT_LT(r4.anchors(IoType::kSeqRead).at_c1_ms,
+            r2.anchors(IoType::kSeqRead).at_c1_ms);
+}
+
+TEST(Raid0Test, RandomReadGainIsCapped) {
+  const DeviceModel base = MakeTestDevice();
+  const DeviceModel r8 = MakeRaid0(base, 8, "r8");
+  // A single random read still hits one spindle: gain capped at 2x.
+  EXPECT_GE(r8.anchors(IoType::kRandRead).at_c1_ms,
+            base.anchors(IoType::kRandRead).at_c1_ms / 2.0 - 1e-12);
+}
+
+}  // namespace
+}  // namespace dot

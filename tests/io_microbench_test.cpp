@@ -1,0 +1,95 @@
+#include "io/microbench.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/standard_catalog.h"
+
+namespace dot {
+namespace {
+
+/// The §3.5.1 benchmark run against a calibrated device model must recover
+/// the Table 1 anchors it was calibrated from — this closes the loop
+/// between the raw device models and the measurement methodology
+/// (including the RW = update - RR subtraction).
+class MicrobenchRecoveryTest
+    : public ::testing::TestWithParam<std::tuple<StockClass, int>> {};
+
+TEST_P(MicrobenchRecoveryTest, RecoversAnchors) {
+  const StockClass cls = std::get<0>(GetParam());
+  const int concurrency = std::get<1>(GetParam());
+  const StorageClass sc = MakeStockClass(cls);
+
+  MicrobenchConfig cfg;
+  cfg.concurrency = concurrency;
+  const MeasuredIoProfile measured = RunDeviceMicrobench(sc.device(), cfg);
+
+  for (IoType t : kAllIoTypes) {
+    const LatencyAnchors& a = sc.device().anchors(t);
+    const double expected = concurrency == 1 ? a.at_c1_ms : a.at_c300_ms;
+    EXPECT_NEAR(measured.per_request_ms[t], expected, expected * 1e-6)
+        << StockClassName(cls) << " " << IoTypeName(t) << " @c="
+        << concurrency;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStockClasses, MicrobenchRecoveryTest,
+    ::testing::Combine(::testing::Values(StockClass::kHdd,
+                                         StockClass::kHddRaid0,
+                                         StockClass::kLssd,
+                                         StockClass::kLssdRaid0,
+                                         StockClass::kHssd),
+                       ::testing::Values(1, 300)),
+    [](const auto& info) {
+      return std::string(StockClassName(std::get<0>(info.param))) == "HDD"
+                 ? std::string("HDD_c") +
+                       std::to_string(std::get<1>(info.param))
+                 : [&] {
+                     std::string n = StockClassName(std::get<0>(info.param));
+                     for (char& c : n) {
+                       if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                     }
+                     return n + "_c" + std::to_string(std::get<1>(info.param));
+                   }();
+    });
+
+TEST(MicrobenchTest, NoiseStaysNearAnchors) {
+  const StorageClass sc = MakeStockClass(StockClass::kHssd);
+  MicrobenchConfig cfg;
+  cfg.concurrency = 1;
+  cfg.noise_cv = 0.05;
+  cfg.seed = 17;
+  const MeasuredIoProfile measured = RunDeviceMicrobench(sc.device(), cfg);
+  for (IoType t : kAllIoTypes) {
+    const double expected = sc.device().anchors(t).at_c1_ms;
+    EXPECT_NEAR(measured.per_request_ms[t], expected, expected * 0.25)
+        << IoTypeName(t);
+  }
+}
+
+TEST(MicrobenchTest, RwSubtractionIsExactWithoutNoise) {
+  // The random-write estimate comes from subtracting the RR share of the
+  // update stream; with a noise-free run the recovery must be exact even
+  // though RW is never measured in isolation.
+  const StorageClass sc = MakeStockClass(StockClass::kLssd);
+  MicrobenchConfig cfg;
+  cfg.concurrency = 1;
+  const MeasuredIoProfile m = RunDeviceMicrobench(sc.device(), cfg);
+  EXPECT_NEAR(m.per_request_ms[IoType::kRandWrite],
+              sc.device().anchors(IoType::kRandWrite).at_c1_ms, 1e-9);
+}
+
+TEST(MicrobenchTest, IntermediateConcurrencyBetweenAnchors) {
+  const StorageClass sc = MakeStockClass(StockClass::kHddRaid0);
+  MicrobenchConfig cfg;
+  cfg.concurrency = 30;
+  const MeasuredIoProfile m = RunDeviceMicrobench(sc.device(), cfg);
+  const LatencyAnchors& rr = sc.device().anchors(IoType::kRandRead);
+  const double lo = std::min(rr.at_c1_ms, rr.at_c300_ms);
+  const double hi = std::max(rr.at_c1_ms, rr.at_c300_ms);
+  EXPECT_GT(m.per_request_ms[IoType::kRandRead], lo);
+  EXPECT_LT(m.per_request_ms[IoType::kRandRead], hi);
+}
+
+}  // namespace
+}  // namespace dot

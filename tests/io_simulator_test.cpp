@@ -1,0 +1,111 @@
+#include "io/io_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/standard_catalog.h"
+
+namespace dot {
+namespace {
+
+class IoSimulatorTest : public ::testing::Test {
+ protected:
+  IoSimulatorTest()
+      : hdd_(MakeStockClass(StockClass::kHdd).device()),
+        hssd_(MakeStockClass(StockClass::kHssd).device()),
+        sim_({&hdd_, &hssd_}) {}
+
+  DeviceModel hdd_;
+  DeviceModel hssd_;
+  IoSimulator sim_;
+};
+
+TEST_F(IoSimulatorTest, SingleStreamConservation) {
+  IoStream s;
+  s.demands.resize(2);
+  s.demands[0][IoType::kSeqRead] = 1000;
+  s.demands[1][IoType::kRandRead] = 50;
+  IoSimResult r = sim_.Run({s});
+  const double expected = 1000 * hdd_.LatencyMs(IoType::kSeqRead, 1) +
+                          50 * hssd_.LatencyMs(IoType::kRandRead, 1);
+  EXPECT_NEAR(r.elapsed_ms, expected, 1e-9);
+  EXPECT_EQ(r.stream_ms.size(), 1u);
+  EXPECT_NEAR(r.device_busy_ms[0] + r.device_busy_ms[1], expected, 1e-9);
+}
+
+TEST_F(IoSimulatorTest, ElapsedIsSlowestStream) {
+  IoStream fast;
+  fast.demands.resize(1);
+  fast.demands[0][IoType::kSeqRead] = 10;
+  IoStream slow;
+  slow.demands.resize(1);
+  slow.demands[0][IoType::kRandRead] = 100;
+  IoSimResult r = sim_.Run({fast, slow});
+  EXPECT_DOUBLE_EQ(r.elapsed_ms, std::max(r.stream_ms[0], r.stream_ms[1]));
+  EXPECT_GT(r.stream_ms[1], r.stream_ms[0]);
+}
+
+TEST_F(IoSimulatorTest, ConcurrencyChangesPerRequestLatency) {
+  IoStream s;
+  s.demands.resize(1);
+  s.demands[0][IoType::kRandRead] = 100;
+  const double t1 = sim_.Run({s}).stream_ms[0];
+  // HDD random reads get faster per request under queueing.
+  std::vector<IoStream> many(50, s);
+  const double t50 = sim_.Run(many).stream_ms[0];
+  EXPECT_LT(t50, t1);
+}
+
+TEST_F(IoSimulatorTest, DeviceIoTotalsAccumulate) {
+  IoStream s;
+  s.demands.resize(2);
+  s.demands[0][IoType::kSeqWrite] = 7;
+  s.demands[1][IoType::kRandWrite] = 3;
+  IoSimResult r = sim_.Run({s, s, s});
+  EXPECT_DOUBLE_EQ(r.device_io[0][IoType::kSeqWrite], 21);
+  EXPECT_DOUBLE_EQ(r.device_io[1][IoType::kRandWrite], 9);
+}
+
+TEST_F(IoSimulatorTest, NoiseIsUnbiasedOnAverage) {
+  IoStream s;
+  s.demands.resize(1);
+  s.demands[0][IoType::kSeqRead] = 1000;
+  const double clean = sim_.Run({s}).elapsed_ms;
+  Rng rng(42);
+  double sum = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    sum += sim_.Run({s}, /*noise_cv=*/0.1, &rng).elapsed_ms;
+  }
+  EXPECT_NEAR(sum / n, clean, clean * 0.01);
+}
+
+TEST_F(IoSimulatorTest, NoiseZeroIsDeterministic) {
+  IoStream s;
+  s.demands.resize(1);
+  s.demands[0][IoType::kRandRead] = 11;
+  EXPECT_DOUBLE_EQ(sim_.Run({s}).elapsed_ms, sim_.Run({s}).elapsed_ms);
+}
+
+TEST_F(IoSimulatorTest, StreamTimeAtExplicitConcurrency) {
+  IoStream s;
+  s.demands.resize(1);
+  s.demands[0][IoType::kRandRead] = 10;
+  const double at300 = sim_.StreamTimeMs(s, 300);
+  EXPECT_NEAR(at300, 10 * hdd_.LatencyMs(IoType::kRandRead, 300), 1e-9);
+}
+
+TEST_F(IoSimulatorTest, EmptyStreamListYieldsZero) {
+  IoSimResult r = sim_.Run({});
+  EXPECT_DOUBLE_EQ(r.elapsed_ms, 0.0);
+  EXPECT_TRUE(r.stream_ms.empty());
+}
+
+TEST_F(IoSimulatorTest, NoiseRequiresRng) {
+  IoStream s;
+  s.demands.resize(1);
+  s.demands[0][IoType::kSeqRead] = 1;
+  EXPECT_DEATH((void)sim_.Run({s}, 0.5, nullptr), "Rng");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,135 @@
+#include "storage/standard_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace dot {
+namespace {
+
+TEST(StandardCatalogTest, StockAnchorsMatchTable1Spot) {
+  const StorageClass hdd = MakeStockClass(StockClass::kHdd);
+  EXPECT_DOUBLE_EQ(hdd.device().anchors(IoType::kRandRead).at_c1_ms, 13.32);
+  EXPECT_DOUBLE_EQ(hdd.device().anchors(IoType::kRandRead).at_c300_ms, 8.903);
+  const StorageClass hssd = MakeStockClass(StockClass::kHssd);
+  EXPECT_DOUBLE_EQ(hssd.device().anchors(IoType::kSeqRead).at_c1_ms, 0.016);
+  EXPECT_DOUBLE_EQ(hssd.device().anchors(IoType::kRandWrite).at_c300_ms,
+                   0.986);
+  const StorageClass lssd = MakeStockClass(StockClass::kLssd);
+  EXPECT_DOUBLE_EQ(lssd.device().anchors(IoType::kRandWrite).at_c1_ms, 62.01);
+}
+
+TEST(StandardCatalogTest, CapacitiesMatchTable2) {
+  EXPECT_DOUBLE_EQ(MakeStockClass(StockClass::kHdd).capacity_gb(), 500.0);
+  EXPECT_DOUBLE_EQ(MakeStockClass(StockClass::kHddRaid0).capacity_gb(),
+                   1000.0);
+  EXPECT_DOUBLE_EQ(MakeStockClass(StockClass::kLssd).capacity_gb(), 128.0);
+  EXPECT_DOUBLE_EQ(MakeStockClass(StockClass::kLssdRaid0).capacity_gb(),
+                   256.0);
+  EXPECT_DOUBLE_EQ(MakeStockClass(StockClass::kHssd).capacity_gb(), 80.0);
+}
+
+TEST(StandardCatalogTest, SpecsMatchTable2) {
+  const DeviceSpec& hdd = StockDeviceSpec(StockClass::kHdd);
+  EXPECT_EQ(hdd.brand_model, "WD Caviar Black");
+  EXPECT_DOUBLE_EQ(hdd.purchase_cost_cents, 3400.0);
+  EXPECT_DOUBLE_EQ(hdd.power_watts, 8.3);
+  const DeviceSpec& hssd = StockDeviceSpec(StockClass::kHssd);
+  EXPECT_EQ(hssd.flash_type, "SLC");
+  EXPECT_DOUBLE_EQ(hssd.purchase_cost_cents, 355000.0);
+  EXPECT_EQ(StockDeviceSpec(StockClass::kHddRaid0).brand_model,
+            hdd.brand_model);
+}
+
+TEST(StandardCatalogTest, RaidControllerMatchesSection41) {
+  const RaidControllerSpec& ctrl = StockRaidController();
+  EXPECT_DOUBLE_EQ(ctrl.cost_cents, 11000.0);
+  EXPECT_DOUBLE_EQ(ctrl.power_watts, 8.25);
+  EXPECT_EQ(ctrl.devices_per_group, 2);
+}
+
+TEST(StandardCatalogTest, HssdIsFastestForRandomReads) {
+  const double hssd_rr = MakeStockClass(StockClass::kHssd)
+                             .device()
+                             .LatencyMs(IoType::kRandRead, 1);
+  for (int i = 0; i < kNumStockClasses - 1; ++i) {
+    const double rr = MakeStockClass(static_cast<StockClass>(i))
+                          .device()
+                          .LatencyMs(IoType::kRandRead, 1);
+    EXPECT_LT(hssd_rr, rr) << StockClassName(static_cast<StockClass>(i));
+  }
+}
+
+TEST(StandardCatalogTest, LssdHasWorstRandomWrites) {
+  // §4.5.2: "the L-SSD device has poor random write performance".
+  const double lssd_rw = MakeStockClass(StockClass::kLssd)
+                             .device()
+                             .LatencyMs(IoType::kRandWrite, 1);
+  for (int i = 0; i < kNumStockClasses; ++i) {
+    if (static_cast<StockClass>(i) == StockClass::kLssd) continue;
+    EXPECT_GT(lssd_rw, MakeStockClass(static_cast<StockClass>(i))
+                           .device()
+                           .LatencyMs(IoType::kRandWrite, 1));
+  }
+}
+
+TEST(StandardCatalogTest, RaidZeroCostEffectivenessClaims) {
+  // §4.4.1: "The SSD RAID 0 achieves SR I/O performance comparable to
+  // H-SSD (x1.3) with significantly lower storage cost (x0.056). The HDD
+  // RAID 0 can be similarly compared with the L-SSD (x1.36 faster at only
+  // x0.107 of the storage cost)."
+  const StorageClass lssd_raid = MakeStockClass(StockClass::kLssdRaid0);
+  const StorageClass hssd = MakeStockClass(StockClass::kHssd);
+  EXPECT_NEAR(lssd_raid.device().anchors(IoType::kSeqRead).at_c1_ms /
+                  hssd.device().anchors(IoType::kSeqRead).at_c1_ms,
+              1.3, 0.05);
+  EXPECT_NEAR(PublishedPriceCentsPerGbHour(StockClass::kLssdRaid0) /
+                  PublishedPriceCentsPerGbHour(StockClass::kHssd),
+              0.056, 0.005);
+
+  const StorageClass hdd_raid = MakeStockClass(StockClass::kHddRaid0);
+  const StorageClass lssd = MakeStockClass(StockClass::kLssd);
+  EXPECT_NEAR(hdd_raid.device().anchors(IoType::kSeqRead).at_c1_ms /
+                  lssd.device().anchors(IoType::kSeqRead).at_c1_ms,
+              1.36, 0.05);
+  EXPECT_NEAR(PublishedPriceCentsPerGbHour(StockClass::kHddRaid0) /
+                  PublishedPriceCentsPerGbHour(StockClass::kLssd),
+              0.107, 0.005);
+}
+
+TEST(BoxConfigTest, Box1HasPaperClasses) {
+  const BoxConfig box = MakeBox1();
+  EXPECT_EQ(box.name, "Box 1");
+  ASSERT_EQ(box.NumClasses(), 3);
+  EXPECT_EQ(box.classes[0].name(), "HDD RAID 0");
+  EXPECT_EQ(box.classes[1].name(), "L-SSD");
+  EXPECT_EQ(box.classes[2].name(), "H-SSD");
+}
+
+TEST(BoxConfigTest, Box2HasPaperClasses) {
+  const BoxConfig box = MakeBox2();
+  ASSERT_EQ(box.NumClasses(), 3);
+  EXPECT_EQ(box.classes[0].name(), "HDD");
+  EXPECT_EQ(box.classes[1].name(), "L-SSD RAID 0");
+  EXPECT_EQ(box.classes[2].name(), "H-SSD");
+}
+
+TEST(BoxConfigTest, MostExpensiveIsHssd) {
+  EXPECT_EQ(MakeBox1().MostExpensiveClass(), 2);
+  EXPECT_EQ(MakeBox2().MostExpensiveClass(), 2);
+  EXPECT_EQ(MakeAllClassesBox().MostExpensiveClass(), 4);
+}
+
+TEST(BoxConfigTest, FindClassByName) {
+  const BoxConfig box = MakeBox2();
+  EXPECT_EQ(box.FindClass("L-SSD RAID 0"), 1);
+  EXPECT_EQ(box.FindClass("H-SSD"), 2);
+  EXPECT_EQ(box.FindClass("does-not-exist"), -1);
+}
+
+TEST(BoxConfigTest, CapacityOverrideSticks) {
+  BoxConfig box = MakeBox1();
+  box.classes[2].set_capacity_gb(21.0);
+  EXPECT_DOUBLE_EQ(box.classes[2].capacity_gb(), 21.0);
+}
+
+}  // namespace
+}  // namespace dot

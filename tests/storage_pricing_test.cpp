@@ -1,0 +1,149 @@
+#include "storage/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/standard_catalog.h"
+
+namespace dot {
+namespace {
+
+TEST(PricingTest, PriceCombinesAmortizationAndEnergy) {
+  // 100 GB device, $100 purchase, 10 W.
+  const double p = PriceCentsPerGbHour(10000.0, 10.0, 100.0);
+  const double expected = (10000.0 / (36.0 * 730.0) + 10.0 * 0.007) / 100.0;
+  EXPECT_NEAR(p, expected, 1e-12);
+}
+
+TEST(PricingTest, ZeroPowerIsPureAmortization) {
+  const double p = PriceCentsPerGbHour(26280.0, 0.0, 1.0);
+  EXPECT_NEAR(p, 1.0, 1e-12);  // 26280 cents over 26280 hours on 1 GB
+}
+
+TEST(PricingTest, PriceScalesInverselyWithCapacity) {
+  const double p1 = PriceCentsPerGbHour(1000, 5, 100);
+  const double p2 = PriceCentsPerGbHour(1000, 5, 200);
+  EXPECT_NEAR(p1 / p2, 2.0, 1e-12);
+}
+
+TEST(PricingTest, Raid0AddsControllerCostAndPower) {
+  DeviceSpec spec;
+  spec.capacity_gb = 500;
+  spec.purchase_cost_cents = 3400;
+  spec.power_watts = 8.3;
+  const double raid = Raid0PriceCentsPerGbHour(spec, 2, 11000, 8.25);
+  const double expected =
+      ((2 * 3400 + 11000) / (36.0 * 730.0) + (2 * 8.3 + 8.25) * 0.007) /
+      1000.0;
+  EXPECT_NEAR(raid, expected, 1e-12);
+}
+
+TEST(PricingTest, RecomputedPricesMatchTable1WithinTenPercent) {
+  // Table 1 row 2 is derived from Table 2 specs by the §2.1 model; our
+  // recomputation should land close (documented deviation: the paper's HDD
+  // power accounting differs slightly).
+  for (int i = 0; i < kNumStockClasses; ++i) {
+    const StockClass cls = static_cast<StockClass>(i);
+    const StorageClass sc = MakeStockClass(cls);
+    const double published = PublishedPriceCentsPerGbHour(cls);
+    EXPECT_NEAR(sc.price_cents_per_gb_hour(), published, published * 0.10)
+        << StockClassName(cls);
+  }
+}
+
+TEST(PricingTest, PriceOrderingMatchesPaper) {
+  // HDD < HDD RAID0 < L-SSD < L-SSD RAID0 < H-SSD (Table 1).
+  double prev = 0.0;
+  for (int i = 0; i < kNumStockClasses; ++i) {
+    const double p =
+        MakeStockClass(static_cast<StockClass>(i)).price_cents_per_gb_hour();
+    EXPECT_GT(p, prev) << StockClassName(static_cast<StockClass>(i));
+    prev = p;
+  }
+}
+
+class LayoutCostTest : public ::testing::Test {
+ protected:
+  LayoutCostTest() : box_(MakeBox1()) {}
+  BoxConfig box_;
+};
+
+TEST_F(LayoutCostTest, LinearCostIsDotProduct) {
+  SpaceUsage used = {10.0, 5.0, 2.0};
+  double expected = 0.0;
+  for (int j = 0; j < 3; ++j) {
+    expected += box_.classes[j].price_cents_per_gb_hour() * used[j];
+  }
+  EXPECT_NEAR(LinearLayoutCostCentsPerHour(box_, used), expected, 1e-12);
+}
+
+TEST_F(LayoutCostTest, LinearCostOfEmptyLayoutIsZero) {
+  EXPECT_DOUBLE_EQ(LinearLayoutCostCentsPerHour(box_, {0, 0, 0}), 0.0);
+}
+
+TEST_F(LayoutCostTest, DiscreteAlphaZeroEqualsLinear) {
+  SpaceUsage used = {30.0, 12.0, 7.0};
+  EXPECT_NEAR(DiscreteLayoutCostCentsPerHour(box_, used, 0.0),
+              LinearLayoutCostCentsPerHour(box_, used), 1e-12);
+}
+
+TEST_F(LayoutCostTest, DiscreteAlphaOneChargesWholeDevices) {
+  // 30 GB on the 1000 GB HDD RAID 0 only.
+  SpaceUsage used = {30.0, 0.0, 0.0};
+  const StorageClass& sc = box_.classes[0];
+  const double full_device =
+      sc.price_cents_per_gb_hour() * sc.capacity_gb();
+  EXPECT_NEAR(DiscreteLayoutCostCentsPerHour(box_, used, 1.0), full_device,
+              1e-12);
+}
+
+TEST_F(LayoutCostTest, DiscreteUnusedClassCostsNothing) {
+  SpaceUsage used = {0.0, 0.0, 1.0};
+  const double cost = DiscreteLayoutCostCentsPerHour(box_, used, 1.0);
+  const StorageClass& hssd = box_.classes[2];
+  EXPECT_NEAR(cost, hssd.price_cents_per_gb_hour() * hssd.capacity_gb(),
+              1e-12);
+}
+
+TEST_F(LayoutCostTest, DiscreteCostIsMonotoneInAlphaForPartialFill) {
+  // Partially-filled devices cost more as alpha grows (discrete part
+  // dominates the proportional one).
+  SpaceUsage used = {100.0, 50.0, 10.0};
+  double prev = -1.0;
+  for (double alpha = 0.0; alpha <= 1.0; alpha += 0.25) {
+    const double c = DiscreteLayoutCostCentsPerHour(box_, used, alpha);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST_F(LayoutCostTest, DiscreteMultipleUnits) {
+  // 1500 GB on 1000 GB HDD RAID 0 units -> 2 units at alpha=1.
+  SpaceUsage used = {1500.0, 0.0, 0.0};
+  const StorageClass& sc = box_.classes[0];
+  EXPECT_NEAR(DiscreteLayoutCostCentsPerHour(box_, used, 1.0),
+              2.0 * sc.price_cents_per_gb_hour() * sc.capacity_gb(), 1e-9);
+}
+
+TEST_F(LayoutCostTest, DispatcherSelectsModel) {
+  SpaceUsage used = {20.0, 20.0, 20.0};
+  CostModelSpec linear;
+  EXPECT_NEAR(LayoutCostCentsPerHour(box_, used, linear),
+              LinearLayoutCostCentsPerHour(box_, used), 1e-12);
+  CostModelSpec discrete{true, 0.7};
+  EXPECT_NEAR(LayoutCostCentsPerHour(box_, used, discrete),
+              DiscreteLayoutCostCentsPerHour(box_, used, 0.7), 1e-12);
+}
+
+TEST(PricingDeathTest, InvalidAlphaAborts) {
+  BoxConfig box = MakeBox1();
+  EXPECT_DEATH(
+      (void)DiscreteLayoutCostCentsPerHour(box, {1, 1, 1}, 1.5), "alpha");
+}
+
+TEST(PricingTest, WorkloadTocScalesWithTime) {
+  EXPECT_NEAR(WorkloadTocCents(10.0, 3600.0 * 1000.0), 10.0, 1e-12);
+  EXPECT_NEAR(WorkloadTocCents(10.0, 1800.0 * 1000.0), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dot

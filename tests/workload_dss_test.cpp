@@ -1,0 +1,146 @@
+#include "workload/dss_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/tpch_queries.h"
+#include "workload/workload.h"
+
+namespace dot {
+namespace {
+
+class DssWorkloadTest : public ::testing::Test {
+ protected:
+  DssWorkloadTest()
+      : schema_(MakeTpchSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 3), PlannerConfig{}) {}
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+};
+
+TEST_F(DssWorkloadTest, SequenceHas66Queries) {
+  EXPECT_EQ(workload_.sequence().size(), 66u);
+  EXPECT_EQ(workload_.templates().size(), 22u);
+}
+
+TEST_F(DssWorkloadTest, EstimateProducesPerQueryTimes) {
+  PerfEstimate est =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 2));
+  EXPECT_EQ(est.unit_times_ms.size(), 66u);
+  double sum = 0;
+  for (double t : est.unit_times_ms) {
+    EXPECT_GT(t, 0);
+    sum += t;
+  }
+  EXPECT_NEAR(est.elapsed_ms, sum, 1e-6);
+  EXPECT_GT(est.tasks_per_hour, 0);
+}
+
+TEST_F(DssWorkloadTest, RepetitionsShareTheSamePlan) {
+  PerfEstimate est =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 0));
+  // Template-major sequence: entries 0..2 are template 0.
+  EXPECT_DOUBLE_EQ(est.unit_times_ms[0], est.unit_times_ms[1]);
+  EXPECT_DOUBLE_EQ(est.unit_times_ms[1], est.unit_times_ms[2]);
+}
+
+TEST_F(DssWorkloadTest, AllHssdIsFastest) {
+  const int n = schema_.NumObjects();
+  const double hssd =
+      workload_.Estimate(UniformPlacement(n, 2)).elapsed_ms;
+  const double lssd =
+      workload_.Estimate(UniformPlacement(n, 1)).elapsed_ms;
+  const double hdd_raid =
+      workload_.Estimate(UniformPlacement(n, 0)).elapsed_ms;
+  EXPECT_LT(hssd, lssd);
+  EXPECT_LT(hssd, hdd_raid);
+}
+
+TEST_F(DssWorkloadTest, OriginalWorkloadIsSrDominated) {
+  // §4.4: "the workload is executed sequentially with the SR I/O as the
+  // dominating I/O type" (on bulk layouts).
+  PerfEstimate est =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 0));
+  IoVector total;
+  for (const IoVector& v : est.io_by_object) total += v;
+  EXPECT_GT(total[IoType::kSeqRead], total[IoType::kRandRead]);
+}
+
+TEST_F(DssWorkloadTest, OriginalWorkloadHasLowInljShare) {
+  // §4.4.2: "only 11% of the joins in the original TPC-H workload were
+  // INLJ" on the DOT/H-SSD-style layouts. Allow a loose band.
+  PerfEstimate est =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 2));
+  ASSERT_GT(est.num_joins, 0);
+  const double share =
+      static_cast<double>(est.num_index_nl_joins) / est.num_joins;
+  EXPECT_LT(share, 0.35);
+}
+
+TEST_F(DssWorkloadTest, ModifiedWorkloadHasHigherInljShareOnHssd) {
+  DssWorkloadModel modified("TPC-H-mod", &schema_, &box_,
+                            MakeModifiedTpchTemplates(),
+                            RepeatSequence(5, 20), PlannerConfig{});
+  PerfEstimate orig =
+      workload_.Estimate(UniformPlacement(schema_.NumObjects(), 2));
+  PerfEstimate mod =
+      modified.Estimate(UniformPlacement(schema_.NumObjects(), 2));
+  const double orig_share =
+      static_cast<double>(orig.num_index_nl_joins) / orig.num_joins;
+  const double mod_share =
+      static_cast<double>(mod.num_index_nl_joins) / mod.num_joins;
+  EXPECT_GT(mod_share, orig_share);
+}
+
+TEST_F(DssWorkloadTest, IoScaleInflatesTime) {
+  const std::vector<int> placement =
+      UniformPlacement(schema_.NumObjects(), 0);
+  PerfEstimate base = workload_.Estimate(placement);
+  std::vector<double> scale(static_cast<size_t>(schema_.NumObjects()), 2.0);
+  PerfEstimate scaled = workload_.EstimateWithIoScale(placement, scale);
+  EXPECT_GT(scaled.elapsed_ms, base.elapsed_ms * 1.2);
+  // I/O doubles exactly.
+  const int li = schema_.FindObject("lineitem");
+  EXPECT_NEAR(scaled.io_by_object[li].Total(),
+              2.0 * base.io_by_object[li].Total(), 1e-6);
+}
+
+TEST_F(DssWorkloadTest, SubsetTemplatesTouchOnlyFourTables) {
+  Schema sub = MakeTpchEsSubsetSchema(20.0);
+  DssWorkloadModel subset("TPC-H-ES", &sub, &box_,
+                          MakeTpchSubsetTemplates(), RepeatSequence(11, 3),
+                          PlannerConfig{});
+  // Must not abort: every template resolves against the 8-object schema.
+  PerfEstimate est = subset.Estimate(UniformPlacement(sub.NumObjects(), 2));
+  EXPECT_EQ(est.unit_times_ms.size(), 33u);
+}
+
+TEST(RepeatSequenceTest, TemplateMajorOrder) {
+  const std::vector<int> seq = RepeatSequence(3, 2);
+  EXPECT_EQ(seq, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(TpchTemplatesTest, TwentyTwoNamedTemplates) {
+  const auto qs = MakeTpchTemplates();
+  ASSERT_EQ(qs.size(), 22u);
+  EXPECT_EQ(qs[0].name, "Q1");
+  EXPECT_EQ(qs[21].name, "Q22");
+  for (const QuerySpec& q : qs) {
+    EXPECT_EQ(q.joins.size() + 1, q.relations.size()) << q.name;
+  }
+}
+
+TEST(TpchTemplatesTest, ModifiedTemplatesAreKeySargable) {
+  for (const QuerySpec& q : MakeModifiedTpchTemplates()) {
+    EXPECT_TRUE(q.relations[0].index_sargable) << q.name;
+    EXPECT_LT(q.relations[0].selectivity, 0.01) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,128 @@
+#include "workload/oltp_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcc_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/tpcc_workload.h"
+#include "workload/workload.h"
+
+namespace dot {
+namespace {
+
+class TpccWorkloadTest : public ::testing::Test {
+ protected:
+  TpccWorkloadTest()
+      : schema_(MakeTpccSchema(300)),
+        box_(MakeBox2()),
+        workload_(MakeTpccWorkload(&schema_, &box_, TpccConfig{})) {}
+
+  Schema schema_;
+  BoxConfig box_;
+  std::unique_ptr<OltpWorkloadModel> workload_;
+};
+
+TEST_F(TpccWorkloadTest, MixWeightsSumToOne) {
+  double total = 0;
+  for (const TxnType& t : workload_->txn_types()) total += t.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(workload_->txn_types().size(), 5u);
+}
+
+TEST_F(TpccWorkloadTest, NewOrderIsThePrimaryTransaction) {
+  const TxnType& primary =
+      workload_->txn_types()[workload_->primary_txn_index()];
+  EXPECT_EQ(primary.name, "NewOrder");
+  EXPECT_NEAR(primary.weight, 0.45, 1e-12);
+}
+
+TEST_F(TpccWorkloadTest, RunsAtConcurrency300) {
+  EXPECT_DOUBLE_EQ(workload_->concurrency(), 300.0);
+  EXPECT_EQ(workload_->sla_kind(), SlaKind::kThroughput);
+  EXPECT_TRUE(workload_->PlansArePlacementInvariant());
+}
+
+TEST_F(TpccWorkloadTest, AllHssdHasHighestTpmc) {
+  const int n = schema_.NumObjects();
+  const double hssd = workload_->Estimate(UniformPlacement(n, 2)).tpmc;
+  const double lssd_raid = workload_->Estimate(UniformPlacement(n, 1)).tpmc;
+  const double hdd = workload_->Estimate(UniformPlacement(n, 0)).tpmc;
+  EXPECT_GT(hssd, lssd_raid);
+  EXPECT_GT(hssd, hdd);
+}
+
+TEST_F(TpccWorkloadTest, WorkloadIsRandomIoDominated) {
+  // §4.5.1: "most I/O patterns in the TPC-C workload are random accesses".
+  PerfEstimate est =
+      workload_->Estimate(UniformPlacement(schema_.NumObjects(), 0));
+  IoVector total;
+  for (const IoVector& v : est.io_by_object) total += v;
+  const double random = total[IoType::kRandRead] + total[IoType::kRandWrite];
+  const double sequential =
+      total[IoType::kSeqRead] + total[IoType::kSeqWrite];
+  EXPECT_GT(random, 10 * sequential);
+}
+
+TEST_F(TpccWorkloadTest, StockAndOrderLineAreHottest) {
+  PerfEstimate est =
+      workload_->Estimate(UniformPlacement(schema_.NumObjects(), 2));
+  const double stock_io =
+      est.io_by_object[schema_.FindObject("stock")].Total();
+  const double item_io = est.io_by_object[schema_.FindObject("item")].Total();
+  const double history_io =
+      est.io_by_object[schema_.FindObject("history")].Total();
+  EXPECT_GT(stock_io, 3 * item_io);
+  EXPECT_GT(stock_io, 3 * history_io);
+}
+
+TEST_F(TpccWorkloadTest, HistoryIsTheOnlySequentialWriter) {
+  PerfEstimate est =
+      workload_->Estimate(UniformPlacement(schema_.NumObjects(), 0));
+  for (const DbObject& o : schema_.objects()) {
+    const double sw = est.io_by_object[o.id][IoType::kSeqWrite];
+    if (o.name == "history") {
+      EXPECT_GT(sw, 0);
+    } else {
+      EXPECT_DOUBLE_EQ(sw, 0) << o.name;
+    }
+  }
+}
+
+TEST_F(TpccWorkloadTest, TasksPerHourIsTpmcTimes60) {
+  PerfEstimate est =
+      workload_->Estimate(UniformPlacement(schema_.NumObjects(), 1));
+  EXPECT_NEAR(est.tasks_per_hour, est.tpmc * 60.0, 1e-6);
+}
+
+TEST_F(TpccWorkloadTest, ThroughputScalesWithConcurrency) {
+  TpccConfig half;
+  half.concurrency = 150;
+  auto w150 = MakeTpccWorkload(&schema_, &box_, half);
+  const auto placement = UniformPlacement(schema_.NumObjects(), 2);
+  const double tpmc_300 = workload_->Estimate(placement).tpmc;
+  const double tpmc_150 = w150->Estimate(placement).tpmc;
+  EXPECT_GT(tpmc_300, tpmc_150);
+}
+
+TEST_F(TpccWorkloadTest, IoScaleReducesThroughput) {
+  const auto placement = UniformPlacement(schema_.NumObjects(), 2);
+  std::vector<double> scale(static_cast<size_t>(schema_.NumObjects()), 3.0);
+  const double base = workload_->Estimate(placement).tpmc;
+  const double scaled =
+      workload_->EstimateWithIoScale(placement, scale).tpmc;
+  EXPECT_LT(scaled, base);
+}
+
+TEST(OltpWorkloadDeathTest, RejectsBadMix) {
+  Schema schema = MakeTpccSchema(1);
+  BoxConfig box = MakeBox1();
+  TxnType t;
+  t.name = "only";
+  t.weight = 0.5;  // does not sum to 1
+  t.io.assign(static_cast<size_t>(schema.NumObjects()), IoVector{});
+  EXPECT_DEATH(OltpWorkloadModel("bad", &schema, &box, {t}, 1, 1000),
+               "sum to 1");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,115 @@
+#include "workload/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcc_schema.h"
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/tpcc_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest()
+      : schema_(MakeTpchSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 3), PlannerConfig{}),
+        profiler_(&schema_, &box_) {}
+
+  WorkloadProfiles Profile() {
+    return profiler_.ProfileWorkload(
+        workload_, [&](const std::vector<int>& placement) {
+          return workload_.Estimate(placement);
+        });
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+  Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, BaselineLayoutSplitsTablesAndIndices) {
+  const std::vector<int> l = profiler_.BaselineLayout(0, 2);
+  for (const DbObject& o : schema_.objects()) {
+    EXPECT_EQ(l[o.id], o.IsIndex() ? 2 : 0) << o.name;
+  }
+}
+
+TEST_F(ProfilerTest, ProfilesAllNineBaselines) {
+  WorkloadProfiles profiles = Profile();
+  EXPECT_FALSE(profiles.single());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const ObjectIoMap& io = profiles.For(i, j);
+      EXPECT_EQ(io.size(), static_cast<size_t>(schema_.NumObjects()));
+    }
+  }
+}
+
+TEST_F(ProfilerTest, ProfilesDifferAcrossBaselines) {
+  // Plan choice depends on placement, so at least two baselines must yield
+  // different per-object I/O (the §3.1 interaction made measurable).
+  WorkloadProfiles profiles = Profile();
+  EXPECT_GT(profiles.CountDistinct(), 1);
+}
+
+TEST_F(ProfilerTest, ProfileMatchesDirectEstimate) {
+  WorkloadProfiles profiles = Profile();
+  PerfEstimate direct = workload_.Estimate(profiler_.BaselineLayout(1, 2));
+  const ObjectIoMap& stored = profiles.For(1, 2);
+  for (int o = 0; o < schema_.NumObjects(); ++o) {
+    EXPECT_NEAR(stored[o].Total(), direct.io_by_object[o].Total(), 1e-9);
+  }
+}
+
+TEST_F(ProfilerTest, PlanInvariantWorkloadProfilesOnce) {
+  Schema tpcc = MakeTpccSchema(300);
+  auto oltp = MakeTpccWorkload(&tpcc, &box_, TpccConfig{});
+  Profiler profiler(&tpcc, &box_);
+  int calls = 0;
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      *oltp, [&](const std::vector<int>& placement) {
+        ++calls;
+        return oltp->Estimate(placement);
+      });
+  EXPECT_EQ(calls, 1);  // §4.5.1: one test layout suffices
+  EXPECT_TRUE(profiles.single());
+  EXPECT_EQ(profiles.CountDistinct(), 1);
+  // Single profile answers any placement pair.
+  EXPECT_EQ(profiles.For(0, 0).size(), profiles.For(2, 1).size());
+}
+
+TEST(WorkloadProfilesTest, ForUnprofiledPairAborts) {
+  WorkloadProfiles profiles(2);
+  profiles.Set(0, 0, ObjectIoMap{});
+  EXPECT_DEATH((void)profiles.For(1, 1), "not profiled");
+}
+
+TEST(WorkloadProfilesTest, SetAfterSingleAborts) {
+  WorkloadProfiles profiles(2);
+  profiles.SetSingle(ObjectIoMap{});
+  EXPECT_DEATH(profiles.Set(0, 0, ObjectIoMap{}), "collapsed");
+}
+
+TEST(WorkloadProfilesTest, CountDistinctCollapsesEqualProfiles) {
+  WorkloadProfiles profiles(2);
+  ObjectIoMap a(3);
+  a[0][IoType::kSeqRead] = 100;
+  ObjectIoMap b = a;
+  ObjectIoMap c(3);
+  c[1][IoType::kRandRead] = 5;
+  profiles.Set(0, 0, a);
+  profiles.Set(0, 1, b);
+  profiles.Set(1, 0, c);
+  profiles.Set(1, 1, c);
+  EXPECT_EQ(profiles.CountDistinct(), 2);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,121 @@
+// Structural sanity of every query-template set: all referenced tables
+// exist, selectivities and fanouts are in range, the declared index
+// expectations are consistent with the schema, and each set plans cleanly
+// on every uniform layout of both boxes.
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "dot/simple_layouts.h"
+#include "query/planner.h"
+#include "storage/standard_catalog.h"
+#include "workload/tpch_queries.h"
+#include "workload/workload.h"
+
+namespace dot {
+namespace {
+
+struct TemplateSetCase {
+  const char* name;
+  std::vector<QuerySpec> (*make)();
+  bool subset_schema;
+};
+
+class TemplateSetTest : public ::testing::TestWithParam<TemplateSetCase> {};
+
+TEST_P(TemplateSetTest, StructurallyValid) {
+  const TemplateSetCase& c = GetParam();
+  Schema schema = c.subset_schema ? MakeTpchEsSubsetSchema(20.0)
+                                  : MakeTpchSchema(20.0);
+  for (const QuerySpec& q : c.make()) {
+    EXPECT_FALSE(q.name.empty());
+    ASSERT_FALSE(q.relations.empty()) << q.name;
+    ASSERT_EQ(q.joins.size() + 1, q.relations.size()) << q.name;
+    for (const RelationAccess& ra : q.relations) {
+      const int id = schema.FindObject(ra.table);
+      ASSERT_GE(id, 0) << q.name << " references unknown " << ra.table;
+      EXPECT_EQ(schema.object(id).kind, ObjectKind::kTable) << q.name;
+      EXPECT_GT(ra.selectivity, 0.0) << q.name;
+      EXPECT_LE(ra.selectivity, 1.0) << q.name;
+      EXPECT_GE(ra.clustering, 0.0);
+      EXPECT_LE(ra.clustering, 1.0);
+      if (ra.index_sargable) {
+        EXPECT_GE(schema.PrimaryIndexOf(id), 0)
+            << q.name << ": sargable access to index-less " << ra.table;
+      }
+    }
+    for (const JoinStep& j : q.joins) {
+      EXPECT_GT(j.matches_per_outer, 0.0) << q.name;
+      EXPECT_LT(j.matches_per_outer, 1000.0) << q.name;
+    }
+    EXPECT_GT(q.cpu_weight, 0.0) << q.name;
+  }
+}
+
+TEST_P(TemplateSetTest, PlansOnEveryUniformLayoutOfBothBoxes) {
+  const TemplateSetCase& c = GetParam();
+  Schema schema = c.subset_schema ? MakeTpchEsSubsetSchema(20.0)
+                                  : MakeTpchSchema(20.0);
+  for (BoxConfig box : {MakeBox1(), MakeBox2()}) {
+    Planner planner(&schema, &box, PlannerConfig{});
+    for (int cls = 0; cls < box.NumClasses(); ++cls) {
+      const auto placement = UniformPlacement(schema.NumObjects(), cls);
+      for (const QuerySpec& q : c.make()) {
+        Plan plan = planner.PlanQuery(q, placement);
+        EXPECT_GT(plan.time_ms, 0.0) << q.name;
+        EXPECT_GE(plan.num_index_nl_joins, 0);
+        EXPECT_LE(plan.num_index_nl_joins, plan.num_joins) << q.name;
+        // The plan's I/O must touch at least the driving relation.
+        double total_io = 0.0;
+        for (const IoVector& v : plan.io_by_object) total_io += v.Total();
+        EXPECT_GT(total_io, 0.0) << q.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSets, TemplateSetTest,
+    ::testing::Values(
+        TemplateSetCase{"original", &MakeTpchTemplates, false},
+        TemplateSetCase{"modified", &MakeModifiedTpchTemplates, false},
+        TemplateSetCase{"subset", &MakeTpchSubsetTemplates, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(SimpleLayoutsTest, OnePerClassPlusIndexSplit) {
+  Schema schema = MakeTpchSchema(1.0);
+  BoxConfig box = MakeBox1();
+  const auto layouts = MakeSimpleLayouts(schema, box);
+  ASSERT_EQ(layouts.size(), 4u);  // 3 uniform + index/data split
+  EXPECT_EQ(layouts[0].name, "All HDD RAID 0");
+  EXPECT_EQ(layouts[3].name, "Index H-SSD Data L-SSD");
+  // The split layout puts exactly the indices on the H-SSD.
+  const int hssd = box.FindClass("H-SSD");
+  const int lssd = box.FindClass("L-SSD");
+  for (const DbObject& o : schema.objects()) {
+    EXPECT_EQ(layouts[3].placement[o.id], o.IsIndex() ? hssd : lssd)
+        << o.name;
+  }
+}
+
+TEST(SimpleLayoutsTest, NoSplitLayoutWithoutBothSsdKinds) {
+  Schema schema = MakeTpchSchema(1.0);
+  BoxConfig box;
+  box.name = "hdd-only";
+  box.classes = {MakeStockClass(StockClass::kHdd),
+                 MakeStockClass(StockClass::kHddRaid0)};
+  const auto layouts = MakeSimpleLayouts(schema, box);
+  EXPECT_EQ(layouts.size(), 2u);  // uniform layouts only
+}
+
+TEST(SimpleLayoutsTest, PlacementsCoverEveryObject) {
+  Schema schema = MakeTpchSchema(1.0);
+  BoxConfig box = MakeBox2();
+  for (const NamedLayout& l : MakeSimpleLayouts(schema, box)) {
+    EXPECT_EQ(l.placement.size(), static_cast<size_t>(schema.NumObjects()))
+        << l.name;
+  }
+}
+
+}  // namespace
+}  // namespace dot
