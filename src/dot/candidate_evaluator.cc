@@ -1,0 +1,123 @@
+#include "dot/candidate_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dot {
+
+bool BetterCandidate(double toc_a, const std::vector<int>& placement_a,
+                     double toc_b, const std::vector<int>& placement_b) {
+  if (toc_a != toc_b) return toc_a < toc_b;
+  return placement_a < placement_b;
+}
+
+std::vector<int> DecodeLayoutIndex(long long index, int num_objects,
+                                   int num_classes) {
+  DOT_CHECK(index >= 0 && num_objects >= 0 && num_classes >= 1);
+  std::vector<int> placement(static_cast<size_t>(num_objects), 0);
+  for (int o = 0; o < num_objects && index != 0; ++o) {
+    placement[static_cast<size_t>(o)] = static_cast<int>(index % num_classes);
+    index /= num_classes;
+  }
+  DOT_CHECK(index == 0) << "layout index out of range for the M^N space";
+  return placement;
+}
+
+CandidateEvaluator::CandidateEvaluator(const DotOptimizer& estimator,
+                                       ThreadPool* pool)
+    : estimator_(estimator), pool_(pool) {
+  DOT_CHECK(pool_ != nullptr);
+}
+
+CandidateEval CandidateEvaluator::EvaluateOne(const Layout& layout) const {
+  CandidateEval eval;
+  const Layout::CapacityFit fit = layout.ComputeCapacityFit();
+  eval.fits = fit.fits;
+  eval.violation_gb = fit.violation_gb;
+  if (!eval.fits) {
+    eval.toc = std::numeric_limits<double>::infinity();
+    return eval;
+  }
+  eval.toc = estimator_.EstimateToc(layout, &eval.estimate,
+                                    &eval.cost_cents_per_hour);
+  eval.feasible = MeetsTargets(eval.estimate, estimator_.targets());
+  if (!eval.feasible) eval.toc = std::numeric_limits<double>::infinity();
+  return eval;
+}
+
+std::vector<CandidateEval> CandidateEvaluator::EvaluateBatch(
+    const std::vector<Layout>& candidates) const {
+  std::vector<CandidateEval> evals(candidates.size());
+  pool_->ParallelFor(0, static_cast<int64_t>(candidates.size()),
+                     [&](int64_t i) {
+                       evals[static_cast<size_t>(i)] =
+                           EvaluateOne(candidates[static_cast<size_t>(i)]);
+                     });
+  return evals;
+}
+
+CandidateEvaluator::SpaceScan CandidateEvaluator::ScanLayoutSpace(
+    long long space_begin, long long space_end) const {
+  const DotProblem& problem = estimator_.problem();
+  const int n = problem.schema->NumObjects();
+  const int m = problem.box->NumClasses();
+
+  SpaceScan out;
+  if (space_begin >= space_end) return out;
+
+  // Oversplit relative to the lane count for load balance. The shard count
+  // (and thus the boundaries) DOES vary with the thread count — determinism
+  // comes solely from the merge below being a minimum under the
+  // BetterCandidate total order, which picks the same winner for any
+  // partition of the space. Do not replace the reduction with a
+  // first-found or shard-order rule.
+  const int num_shards = static_cast<int>(std::min<long long>(
+      space_end - space_begin, 8LL * pool_->num_threads()));
+  std::vector<SpaceScan> per_shard(static_cast<size_t>(num_shards));
+
+  pool_->ParallelForShards(
+      space_begin, space_end, num_shards,
+      [&](int shard, int64_t shard_begin, int64_t shard_end) {
+        SpaceScan local;
+        std::vector<int> placement = DecodeLayoutIndex(shard_begin, n, m);
+        for (int64_t idx = shard_begin; idx < shard_end; ++idx) {
+          local.evaluated += 1;
+          Layout layout(problem.schema, problem.box, placement);
+          CandidateEval eval = EvaluateOne(layout);
+          if (eval.feasible) {
+            if (!local.feasible_found ||
+                BetterCandidate(eval.toc, placement, local.best.toc,
+                                local.best_placement)) {
+              local.feasible_found = true;
+              local.best = std::move(eval);
+              local.best_placement = placement;
+            }
+          }
+          // Advance the M-ary odometer (digit 0 least significant).
+          int digit = 0;
+          while (digit < n) {
+            if (++placement[static_cast<size_t>(digit)] < m) break;
+            placement[static_cast<size_t>(digit)] = 0;
+            ++digit;
+          }
+        }
+        per_shard[static_cast<size_t>(shard)] = std::move(local);
+      });
+
+  for (SpaceScan& shard : per_shard) {
+    out.evaluated += shard.evaluated;
+    if (!shard.feasible_found) continue;
+    if (!out.feasible_found ||
+        BetterCandidate(shard.best.toc, shard.best_placement, out.best.toc,
+                        out.best_placement)) {
+      out.feasible_found = true;
+      out.best = std::move(shard.best);
+      out.best_placement = std::move(shard.best_placement);
+    }
+  }
+  return out;
+}
+
+}  // namespace dot

@@ -1,0 +1,86 @@
+#ifndef DOTPROV_DOT_CANDIDATE_EVALUATOR_H_
+#define DOTPROV_DOT_CANDIDATE_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dot/layout.h"
+#include "dot/optimizer.h"
+#include "dot/problem.h"
+#include "dot/sla.h"
+
+namespace dot {
+
+/// Verdict of one candidate-layout evaluation. Pure data: producing one has
+/// no side effects, so evaluations can run on any thread and be committed —
+/// or discarded — later by the (sequential, deterministic) search driver.
+struct CandidateEval {
+  /// Σ s_o < c_j on every class (strict — an exactly-full class does not
+  /// fit; the Layout::ComputeCapacityFit rule).
+  bool fits = false;
+  /// fits && meets every performance target.
+  bool feasible = false;
+  /// estimateTOC, cents/task; +inf when the candidate is infeasible.
+  double toc = 0.0;
+  /// C(L) in cents/hour (0 when the candidate does not fit).
+  double cost_cents_per_hour = 0.0;
+  /// Total over-capacity volume, GB (the optimizer's escape gradient).
+  double violation_gb = 0.0;
+  /// Workload estimate; meaningful only when `fits`.
+  PerfEstimate estimate;
+};
+
+/// Total order used everywhere a best layout is selected: lower TOC wins,
+/// exact TOC ties broken by the lexicographically lowest placement. Because
+/// the order is total and depends only on (toc, placement), any reduction
+/// over any partition of candidates — per-shard minima merged in shard
+/// order, or a serial scan — picks the same winner, which is what makes the
+/// parallel engine bit-identical to the serial path at every thread count.
+bool BetterCandidate(double toc_a, const std::vector<int>& placement_a,
+                     double toc_b, const std::vector<int>& placement_b);
+
+/// The parallel candidate-evaluation engine shared by both DOT search
+/// phases. Batches EstimateToc calls across a ThreadPool for the heuristic
+/// optimizer's move sequence (Procedure 1) and shards the exhaustive
+/// search's mixed-radix layout space [0, M^N) across workers.
+class CandidateEvaluator {
+ public:
+  /// `estimator` supplies EstimateToc and the run's targets; `pool` supplies
+  /// the lanes. Both must outlive the evaluator. The estimator is only read
+  /// (EstimateToc is const and touches no mutable state), so concurrent
+  /// calls are safe.
+  CandidateEvaluator(const DotOptimizer& estimator, ThreadPool* pool);
+
+  /// Evaluates one candidate on the calling thread.
+  CandidateEval EvaluateOne(const Layout& layout) const;
+
+  /// Evaluates `candidates` concurrently; results align with the input.
+  std::vector<CandidateEval> EvaluateBatch(
+      const std::vector<Layout>& candidates) const;
+
+  /// Scans layout indices [space_begin, space_end) of the mixed-radix space
+  /// (placement[o] = (index / M^o) mod M — digit 0 least significant, the
+  /// serial odometer's order), sharded across the pool, and returns the
+  /// feasible minimum under BetterCandidate.
+  struct SpaceScan {
+    bool feasible_found = false;
+    std::vector<int> best_placement;
+    CandidateEval best;
+    long long evaluated = 0;
+  };
+  SpaceScan ScanLayoutSpace(long long space_begin, long long space_end) const;
+
+  const DotOptimizer& estimator() const { return estimator_; }
+
+ private:
+  const DotOptimizer& estimator_;
+  ThreadPool* pool_;
+};
+
+/// placement[o] = (index / M^o) mod M for an N-digit, radix-M space.
+std::vector<int> DecodeLayoutIndex(long long index, int num_objects,
+                                   int num_classes);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_CANDIDATE_EVALUATOR_H_

@@ -17,6 +17,8 @@
 #include "catalog/schema.h"
 #include "catalog/tpcc_schema.h"
 #include "catalog/tpch_schema.h"
+#include "common/thread_pool.h"
+#include "dot/candidate_evaluator.h"
 #include "dot/exhaustive.h"
 #include "dot/layout.h"
 #include "dot/moves.h"

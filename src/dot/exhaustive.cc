@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "dot/candidate_evaluator.h"
 #include "dot/layout.h"
 #include "dot/sla.h"
 
@@ -27,52 +30,35 @@ DotResult ExhaustiveSearch(const DotProblem& problem,
   const double start_ms = NowMs();
   const int n = problem.schema->NumObjects();
   const int m = problem.box->NumClasses();
-  const double total = std::pow(static_cast<double>(m), n);
-  DOT_CHECK(total <= static_cast<double>(max_layouts))
-      << "exhaustive search over " << total << " layouts exceeds the guard ("
-      << max_layouts << ")";
+  const double total_f = std::pow(static_cast<double>(m), n);
+  DOT_CHECK(total_f <= static_cast<double>(max_layouts))
+      << "exhaustive search over " << total_f
+      << " layouts exceeds the guard (" << max_layouts << ")";
+  // DotResult::layouts_evaluated is an int; a caller-raised guard must not
+  // let the count wrap silently.
+  DOT_CHECK(total_f <= static_cast<double>(std::numeric_limits<int>::max()))
+      << "layout count " << total_f << " overflows layouts_evaluated";
+  long long total = 1;
+  for (int o = 0; o < n; ++o) total *= m;
 
   DotResult result;
-  result.targets =
-      problem.targets_override != nullptr
-          ? *problem.targets_override
-          : MakePerfTargets(*problem.workload, *problem.box, n,
-                            problem.relative_sla, problem.io_scale_hint);
-
   DotOptimizer estimator(problem);  // reuse estimateTOC / targets
-  double best_toc = std::numeric_limits<double>::infinity();
-  bool feasible_found = false;
+  result.targets = estimator.targets();
 
-  std::vector<int> placement(static_cast<size_t>(n), 0);
-  for (;;) {
-    result.layouts_evaluated += 1;
-    Layout layout(problem.schema, problem.box, placement);
-    if (layout.CheckCapacity().ok()) {
-      PerfEstimate est;
-      const double toc = estimator.EstimateToc(placement, &est);
-      if (MeetsTargets(est, result.targets)) {
-        feasible_found = true;
-        if (toc < best_toc) {
-          best_toc = toc;
-          result.placement = placement;
-          result.toc_cents_per_task = toc;
-          result.layout_cost_cents_per_hour =
-              layout.CostCentsPerHour(problem.cost_model);
-          result.estimate = std::move(est);
-        }
-      }
-    }
-    // Advance the M-ary odometer over object placements.
-    int digit = 0;
-    while (digit < n) {
-      if (++placement[static_cast<size_t>(digit)] < m) break;
-      placement[static_cast<size_t>(digit)] = 0;
-      ++digit;
-    }
-    if (digit == n) break;
-  }
+  // Shard the mixed-radix layout space [0, M^N) across the pool; the
+  // reduction under (TOC, lexicographically lowest placement) is a total
+  // order, so the winner is the same at every thread count.
+  ThreadPool pool(problem.num_threads);
+  const CandidateEvaluator evaluator(estimator, &pool);
+  CandidateEvaluator::SpaceScan scan = evaluator.ScanLayoutSpace(0, total);
 
-  if (!feasible_found) {
+  result.layouts_evaluated = static_cast<int>(scan.evaluated);
+  if (scan.feasible_found) {
+    result.placement = std::move(scan.best_placement);
+    result.toc_cents_per_task = scan.best.toc;
+    result.layout_cost_cents_per_hour = scan.best.cost_cents_per_hour;
+    result.estimate = std::move(scan.best.estimate);
+  } else {
     result.status = Status::Infeasible(
         "no layout satisfies the capacity and SLA constraints");
   }

@@ -54,6 +54,9 @@ SpaceUsage Layout::SpaceByClass() const {
 }
 
 Status Layout::CheckCapacity() const {
+  // The pass/fail verdict comes from ComputeCapacityFit — the one place
+  // the fit rule lives; this function only adds the error message.
+  if (ComputeCapacityFit().fits) return Status::OK();
   const SpaceUsage used = SpaceByClass();
   for (int j = 0; j < box_->NumClasses(); ++j) {
     const StorageClass& sc = box_->classes[static_cast<size_t>(j)];
@@ -63,18 +66,24 @@ Status Layout::CheckCapacity() const {
           used[static_cast<size_t>(j)], sc.capacity_gb()));
     }
   }
-  return Status::OK();
+  return Status::CapacityExceeded("over capacity");  // unreachable
+}
+
+Layout::CapacityFit Layout::ComputeCapacityFit() const {
+  const SpaceUsage used = SpaceByClass();
+  CapacityFit fit;
+  for (int j = 0; j < box_->NumClasses(); ++j) {
+    const double capacity =
+        box_->classes[static_cast<size_t>(j)].capacity_gb();
+    if (used[static_cast<size_t>(j)] >= capacity) fit.fits = false;
+    const double over = used[static_cast<size_t>(j)] - capacity;
+    if (over > 0.0) fit.violation_gb += over;
+  }
+  return fit;
 }
 
 double Layout::CapacityViolationGb() const {
-  const SpaceUsage used = SpaceByClass();
-  double violation = 0.0;
-  for (int j = 0; j < box_->NumClasses(); ++j) {
-    const double over = used[static_cast<size_t>(j)] -
-                        box_->classes[static_cast<size_t>(j)].capacity_gb();
-    if (over > 0.0) violation += over;
-  }
-  return violation;
+  return ComputeCapacityFit().violation_gb;
 }
 
 double Layout::CostCentsPerHour(const CostModelSpec& spec) const {

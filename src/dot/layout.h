@@ -40,6 +40,16 @@ class Layout {
   /// OK iff Σ_{o on d_j} s_o < c_j for every class (§2.2).
   Status CheckCapacity() const;
 
+  /// One-pass capacity accounting, the single source of the fit rule the
+  /// candidate-evaluation engine shares with CheckCapacity: `fits` iff
+  /// used < c_j on every class, `violation_gb` = Σ_j max(0, S_j - c_j).
+  /// (fits can be false while violation_gb == 0: used == c_j exactly.)
+  struct CapacityFit {
+    bool fits = true;
+    double violation_gb = 0.0;
+  };
+  CapacityFit ComputeCapacityFit() const;
+
   /// Total over-capacity volume Σ_j max(0, S_j - c_j) in GB; 0 iff the
   /// layout fits. Used by the optimizer to march out of an over-full
   /// initial layout (e.g. a capacity-capped premium class, §4.5.3).

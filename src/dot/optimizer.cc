@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "dot/candidate_evaluator.h"
 #include "dot/moves.h"
 
 namespace dot {
@@ -34,14 +37,22 @@ DotOptimizer::DotOptimizer(const DotProblem& problem) : problem_(problem) {
 }
 
 double DotOptimizer::EstimateToc(const std::vector<int>& placement,
-                                 PerfEstimate* estimate_out) const {
-  const Layout layout(problem_.schema, problem_.box, placement);
+                                 PerfEstimate* estimate_out,
+                                 double* cost_out) const {
+  return EstimateToc(Layout(problem_.schema, problem_.box, placement),
+                     estimate_out, cost_out);
+}
+
+double DotOptimizer::EstimateToc(const Layout& layout,
+                                 PerfEstimate* estimate_out,
+                                 double* cost_out) const {
   PerfEstimate est = problem_.workload->EstimateWithIoScale(
-      placement, problem_.io_scale_hint);
+      layout.placement(), problem_.io_scale_hint);
   const double cost = layout.CostCentsPerHour(problem_.cost_model);
   DOT_CHECK(est.tasks_per_hour > 0) << "estimate produced zero throughput";
   const double toc = cost / est.tasks_per_hour;
   if (estimate_out != nullptr) *estimate_out = std::move(est);
+  if (cost_out != nullptr) *cost_out = cost;
   return toc;
 }
 
@@ -51,6 +62,9 @@ DotResult DotOptimizer::Optimize() const {
   const double start_ms = NowMs();
   DotResult result;
   result.targets = targets_;
+
+  ThreadPool pool(problem_.num_threads);
+  const CandidateEvaluator evaluator(*this, &pool);
 
   const int l0_class = problem_.box->MostExpensiveClass();
   Layout current = Layout::Uniform(problem_.schema, problem_.box, l0_class);
@@ -62,34 +76,35 @@ DotResult DotOptimizer::Optimize() const {
   double current_toc = std::numeric_limits<double>::infinity();
   double current_violation = current.CapacityViolationGb();
 
-  // Evaluates a candidate; records it as L* when it is feasible and the
-  // cheapest so far. Returns the candidate's TOC (infinity if it violates
-  // any constraint).
-  auto evaluate = [&](const Layout& layout) {
+  // Commits one evaluation to the result: counts it and records it as L*
+  // when it is the best feasible candidate under the engine's total order
+  // (TOC, then lexicographically lowest placement). Candidate evaluations
+  // are pure, so speculative batch members that the sequential walk below
+  // discards (their base layout changed before their turn) simply never
+  // reach this function — which is what keeps the committed sequence, and
+  // therefore every field of the result, bit-identical to a serial walk.
+  auto commit = [&](const Layout& layout, const CandidateEval& eval) {
     result.layouts_evaluated += 1;
-    if (!layout.CheckCapacity().ok()) {
-      return std::numeric_limits<double>::infinity();
-    }
-    PerfEstimate est;
-    const double toc = EstimateToc(layout.placement(), &est);
-    if (!MeetsTargets(est, targets_)) {
-      return std::numeric_limits<double>::infinity();
+    if (!eval.feasible) return;
+    if (!feasible_found ||
+        BetterCandidate(eval.toc, layout.placement(), best_toc,
+                        result.placement)) {
+      best_toc = eval.toc;
+      result.placement = layout.placement();
+      result.toc_cents_per_task = eval.toc;
+      result.layout_cost_cents_per_hour = eval.cost_cents_per_hour;
+      result.estimate = eval.estimate;
     }
     feasible_found = true;
-    if (toc < best_toc) {
-      best_toc = toc;
-      result.placement = layout.placement();
-      result.toc_cents_per_task = toc;
-      result.layout_cost_cents_per_hour =
-          layout.CostCentsPerHour(problem_.cost_model);
-      result.estimate = std::move(est);
-    }
-    return toc;
   };
 
   // L0 itself is the first candidate (feasible unless a capacity cap on
   // the premium class makes it over-full).
-  current_toc = evaluate(current);
+  {
+    const CandidateEval l0_eval = evaluator.EvaluateOne(current);
+    commit(current, l0_eval);
+    current_toc = l0_eval.toc;
+  }
 
   // Procedure 1 walks the score-ordered move list, applying each move to
   // the working layout when it helps. Two refinements over the literal
@@ -116,31 +131,72 @@ DotResult DotOptimizer::Optimize() const {
   }
   const std::vector<Move> moves = EnumerateMoves(problem_, groups);
   const int max_sweeps = std::max(1, problem_.max_sweeps);
+
+  // The walk over the score-ordered move list is inherently sequential (each
+  // acceptance changes the working layout every later move is judged
+  // against), so the engine parallelizes it speculatively: candidates for
+  // the next `batch_capacity` moves are all derived from the current working
+  // layout and evaluated concurrently, then scanned in move order. Up to the
+  // first accepted move the speculation is exact — those evaluations are the
+  // ones a serial walk performs, and only those are committed. From the
+  // first acceptance on, the remaining batch members have a stale base
+  // layout; they are discarded (never committed) and re-derived from the new
+  // working layout in the next batch. With num_threads == 1 the batch
+  // capacity is 1 and the walk degenerates to exactly the serial procedure.
+  // Caveat: speculative members are layouts a serial walk may never
+  // evaluate, so a programmer-error DOT_CHECK inside estimation (e.g. a
+  // workload model returning zero throughput) can abort at num_threads > 1
+  // on an instance where the serial walk happens not to trip it. Results
+  // are identical across thread counts; aborts on broken models may not be.
+  const size_t batch_capacity =
+      pool.num_threads() == 1 ? 1 : 2 * static_cast<size_t>(pool.num_threads());
+  std::vector<Layout> batch;
+  std::vector<size_t> batch_move;  // move index of each batch member
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool improved = false;
-    for (const Move& move : moves) {
-      const ObjectGroup& g = groups[static_cast<size_t>(move.group)];
-      Layout candidate = current.WithMoves(g.members, move.placement);
-      if (candidate == current) continue;
-      const double cand_violation = candidate.CapacityViolationGb();
-      const double cand_toc = evaluate(candidate);
-      bool accept;
-      if (problem_.acceptance == MoveAcceptance::kAnyFeasible) {
-        // Procedure 1 verbatim: keep every feasible move.
-        accept = std::isfinite(cand_toc);
-      } else {
-        // Sweep 0 accepts non-worsening moves (neutral moves open up later
-        // combinations); converging sweeps demand strict improvement.
-        accept = sweep == 0 ? cand_toc <= current_toc
-                            : cand_toc < current_toc * (1.0 - 1e-12);
+    size_t next_move = 0;
+    while (next_move < moves.size()) {
+      batch.clear();
+      batch_move.clear();
+      for (size_t j = next_move;
+           j < moves.size() && batch.size() < batch_capacity; ++j) {
+        const Move& move = moves[j];
+        const ObjectGroup& g = groups[static_cast<size_t>(move.group)];
+        Layout candidate = current.WithMoves(g.members, move.placement);
+        if (candidate == current) continue;
+        batch.push_back(std::move(candidate));
+        batch_move.push_back(j);
       }
-      accept = accept ||
-               (current_violation > 0.0 && cand_violation < current_violation);
-      if (accept) {
-        if (cand_toc < current_toc) improved = true;
-        current = std::move(candidate);
-        current_toc = cand_toc;
-        current_violation = cand_violation;
+      if (batch.empty()) break;  // only identity moves remain this sweep
+      const std::vector<CandidateEval> evals = evaluator.EvaluateBatch(batch);
+
+      next_move = batch_move.back() + 1;
+      for (size_t k = 0; k < batch.size(); ++k) {
+        const CandidateEval& eval = evals[k];
+        commit(batch[k], eval);
+        bool accept;
+        if (problem_.acceptance == MoveAcceptance::kAnyFeasible) {
+          // Procedure 1 verbatim: keep every feasible move.
+          accept = std::isfinite(eval.toc);
+        } else {
+          // Sweep 0 accepts non-worsening moves (neutral moves open up
+          // later combinations); converging sweeps demand strict
+          // improvement.
+          accept = sweep == 0 ? eval.toc <= current_toc
+                              : eval.toc < current_toc * (1.0 - 1e-12);
+        }
+        accept = accept || (current_violation > 0.0 &&
+                            eval.violation_gb < current_violation);
+        if (accept) {
+          if (eval.toc < current_toc) improved = true;
+          current = std::move(batch[k]);
+          current_toc = eval.toc;
+          current_violation = eval.violation_gb;
+          // The rest of the batch was speculated against the old working
+          // layout; drop it and rebuild from the move after this one.
+          next_move = batch_move[k] + 1;
+          break;
+        }
       }
     }
     if (!improved && sweep > 0) break;

@@ -51,11 +51,22 @@ class DotOptimizer {
 
   /// estimateTOC(W, L): workload estimate and TOC in cents/task under the
   /// problem's cost model (applies the refinement io_scale hint if set).
+  /// `cost_out` (if non-null) receives C(L) in cents/hour — the numerator
+  /// the TOC was computed from, so callers need not recompute it.
   double EstimateToc(const std::vector<int>& placement,
-                     PerfEstimate* estimate_out) const;
+                     PerfEstimate* estimate_out,
+                     double* cost_out = nullptr) const;
+
+  /// Overload for callers that already hold a Layout (the candidate-
+  /// evaluation hot loop), skipping the placement re-validation and copy.
+  double EstimateToc(const Layout& layout, PerfEstimate* estimate_out,
+                     double* cost_out = nullptr) const;
 
   /// The targets implied by the problem's relative SLA.
   const PerfTargets& targets() const { return targets_; }
+
+  /// The problem instance this optimizer was built for.
+  const DotProblem& problem() const { return problem_; }
 
  private:
   DotProblem problem_;

@@ -52,6 +52,14 @@ struct DotProblem {
   /// optimization run.
   const PerfTargets* targets_override = nullptr;
 
+  /// Execution lanes for the parallel candidate-evaluation engine: both
+  /// search phases batch estimateTOC calls across this many threads
+  /// (1 = serial, 0 = std::thread::hardware_concurrency()). Results are
+  /// bit-identical at every setting — candidates are reduced under a total
+  /// order (TOC, then lexicographically lowest placement), never by arrival
+  /// time.
+  int num_threads = 1;
+
   // --- ablation knobs (defaults reproduce the full DOT method) ---
 
   /// Move acceptance rule (see MoveAcceptance).

@@ -1,29 +1,47 @@
 #include "dot/provisioner.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace dot {
 
 ProvisioningResult ProvisionOverOptions(
-    const std::vector<ProvisioningOption>& options) {
+    const std::vector<ProvisioningOption>& options, int num_threads) {
   DOT_CHECK(!options.empty()) << "no storage configurations to provision";
   ProvisioningResult out;
+  out.per_option.resize(options.size());
+
+  num_threads = ThreadPool::ResolveThreadCount(num_threads);
+  // The outer fan-out can never use more lanes than there are options;
+  // spare lanes would just sit parked on the pool's condition variable.
+  ThreadPool pool(std::min<int>(num_threads,
+                                static_cast<int>(options.size())));
+  const bool single_option = options.size() == 1;
+  pool.ParallelFor(0, static_cast<int64_t>(options.size()), [&](int64_t i) {
+    DotProblem problem = options[static_cast<size_t>(i)].make_problem();
+    if (single_option && problem.num_threads == 1) {
+      // Hand the requested lanes to the only inner DOT run instead.
+      problem.num_threads = num_threads;
+    }
+    DotOptimizer optimizer(problem);
+    out.per_option[static_cast<size_t>(i)] = optimizer.Optimize();
+  });
+
+  // Select the winner sequentially in option order (first strictly-lower
+  // TOC wins) — the same scan the serial loop performed, independent of
+  // which thread finished which option first.
   double best_toc = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < options.size(); ++i) {
-    DotProblem problem = options[i].make_problem();
-    DotOptimizer optimizer(problem);
-    DotResult result = optimizer.Optimize();
-    const bool feasible = result.status.ok();
-    const double toc = result.toc_cents_per_task;
-    if (feasible && toc < best_toc) {
-      best_toc = toc;
+    const DotResult& result = out.per_option[i];
+    if (result.status.ok() && result.toc_cents_per_task < best_toc) {
+      best_toc = result.toc_cents_per_task;
       out.best_option = static_cast<int>(i);
       out.best_name = options[i].name;
       out.best = result;
     }
-    out.per_option.push_back(std::move(result));
   }
   return out;
 }

@@ -34,8 +34,18 @@ struct ProvisioningResult {
 /// every storage-configuration option and returning the feasible
 /// configuration (plus layout) with the lowest TOC — the paper's suggested
 /// use of DOT for purchasing and capacity-planning decisions (§7).
+///
+/// The per-option DOT runs are independent, so `num_threads > 1` evaluates
+/// the configuration menu concurrently (1 = serial, 0 = hardware
+/// concurrency); each option's `make_problem` must then be safe to call
+/// from any thread. The winner is selected by a deterministic scan in
+/// option order after all runs complete, so the result does not depend on
+/// the thread count. With a single option the lanes are handed to the inner
+/// DOT run instead (when its problem leaves `DotProblem::num_threads` at
+/// the serial default); with several options the inner runs keep their own
+/// settings so the box-level fan-out is not oversubscribed.
 ProvisioningResult ProvisionOverOptions(
-    const std::vector<ProvisioningOption>& options);
+    const std::vector<ProvisioningOption>& options, int num_threads = 1);
 
 }  // namespace dot
 

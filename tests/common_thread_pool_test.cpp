@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dot {
+namespace {
+
+TEST(ThreadPoolTest, ReportsRequestedLaneCount) {
+  EXPECT_EQ(ThreadPool(1).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(4).num_threads(), 4);
+  // 0 resolves to hardware concurrency (at least one lane).
+  EXPECT_GE(ThreadPool(0).num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksToCompletion) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> sum(0);
+  pool.ParallelFor(0, 1000, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 64,
+                       [](int64_t i) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, ShardsPartitionTheRangeDeterministically) {
+  ThreadPool pool(4);
+  std::vector<std::pair<int64_t, int64_t>> ranges(7);
+  pool.ParallelForShards(3, 103, 7,
+                         [&](int shard, int64_t begin, int64_t end) {
+                           ranges[static_cast<size_t>(shard)] = {begin, end};
+                         });
+  // Contiguous cover of [3, 103) with sizes independent of scheduling.
+  int64_t at = 3;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.first, at);
+    EXPECT_GT(r.second, r.first);
+    at = r.second;
+  }
+  EXPECT_EQ(at, 103);
+}
+
+TEST(ThreadPoolTest, ShardCountIsCappedByRangeSize) {
+  ThreadPool pool(4);
+  std::atomic<int> shards(0);
+  pool.ParallelForShards(0, 3, 16, [&](int, int64_t begin, int64_t end) {
+    shards.fetch_add(1);
+    EXPECT_EQ(end - begin, 1);
+  });
+  EXPECT_EQ(shards.load(), 3);
+}
+
+TEST(ThreadPoolTest, ReentrantSubmitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // A task that submits nested work and drains the queue while waiting —
+  // the pattern the pool's RunPendingTask escape hatch exists for.
+  auto outer = pool.Submit([&pool] {
+    std::vector<std::future<int>> inner;
+    for (int i = 0; i < 8; ++i) {
+      inner.push_back(pool.Submit([i] { return i; }));
+    }
+    int sum = 0;
+    for (auto& f : inner) {
+      while (f.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!pool.RunPendingTask()) f.wait();
+      }
+      sum += f.get();
+    }
+    return sum;
+  });
+  EXPECT_EQ(outer.get(), 28);
+}
+
+TEST(ThreadPoolTest, ReentrantParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total(0);
+  pool.ParallelFor(0, 8, [&](int64_t) {
+    pool.ParallelFor(0, 8, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
+  std::atomic<int> done(0);
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&done] { done.fetch_add(1); }));
+    }
+  }
+  EXPECT_EQ(done.load(), 32);
+  for (auto& f : futures) f.get();  // all futures must be satisfied
+}
+
+}  // namespace
+}  // namespace dot
