@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "dot/eval_tables.h"
 
 namespace dot {
 
@@ -29,7 +31,13 @@ CandidateEvaluator::CandidateEvaluator(const DotOptimizer& estimator,
                                        ThreadPool* pool)
     : estimator_(estimator), pool_(pool) {
   DOT_CHECK(pool_ != nullptr);
+  if (estimator_.problem().use_fast_eval) {
+    auto fast = std::make_unique<FastEvaluator>(estimator_);
+    if (fast->enabled()) fast_ = std::move(fast);
+  }
 }
+
+CandidateEvaluator::~CandidateEvaluator() = default;
 
 CandidateEval CandidateEvaluator::EvaluateOne(const Layout& layout) const {
   CandidateEval eval;
@@ -47,6 +55,11 @@ CandidateEval CandidateEvaluator::EvaluateOne(const Layout& layout) const {
   return eval;
 }
 
+CandidateEval CandidateEvaluator::EvaluateQuick(const Layout& layout) const {
+  if (fast_ == nullptr) return EvaluateOne(layout);
+  return fast_->EvaluateQuick(layout.placement());
+}
+
 std::vector<CandidateEval> CandidateEvaluator::EvaluateBatch(
     const std::vector<Layout>& candidates) const {
   std::vector<CandidateEval> evals(candidates.size());
@@ -56,6 +69,25 @@ std::vector<CandidateEval> CandidateEvaluator::EvaluateBatch(
                            EvaluateOne(candidates[static_cast<size_t>(i)]);
                      });
   return evals;
+}
+
+std::vector<CandidateEval> CandidateEvaluator::EvaluateBatchQuick(
+    const std::vector<Layout>& candidates) const {
+  std::vector<CandidateEval> evals(candidates.size());
+  pool_->ParallelFor(0, static_cast<int64_t>(candidates.size()),
+                     [&](int64_t i) {
+                       evals[static_cast<size_t>(i)] =
+                           EvaluateQuick(candidates[static_cast<size_t>(i)]);
+                     });
+  return evals;
+}
+
+long long CandidateEvaluator::plan_cache_hits() const {
+  return fast_ != nullptr ? fast_->plan_cache_hits() : 0;
+}
+
+long long CandidateEvaluator::plan_cache_misses() const {
+  return fast_ != nullptr ? fast_->plan_cache_misses() : 0;
 }
 
 CandidateEvaluator::SpaceScan CandidateEvaluator::ScanLayoutSpace(
@@ -72,7 +104,9 @@ CandidateEvaluator::SpaceScan CandidateEvaluator::ScanLayoutSpace(
   // comes solely from the merge below being a minimum under the
   // BetterCandidate total order, which picks the same winner for any
   // partition of the space. Do not replace the reduction with a
-  // first-found or shard-order rule.
+  // first-found or shard-order rule. The fast path keeps this safe: every
+  // scalar a candidate is scored from is a fixed-order sum over tables, so
+  // its value cannot depend on which shard (or thread) evaluated it.
   const int num_shards = static_cast<int>(std::min<long long>(
       space_end - space_begin, 8LL * pool_->num_threads()));
   std::vector<SpaceScan> per_shard(static_cast<size_t>(num_shards));
@@ -82,10 +116,19 @@ CandidateEvaluator::SpaceScan CandidateEvaluator::ScanLayoutSpace(
       [&](int shard, int64_t shard_begin, int64_t shard_end) {
         SpaceScan local;
         std::vector<int> placement = DecodeLayoutIndex(shard_begin, n, m);
+        std::unique_ptr<FastEvaluator::Cursor> cursor;
+        if (fast_ != nullptr) {
+          cursor = fast_->MakeCursor();
+          cursor->Reset(placement);
+        }
         for (int64_t idx = shard_begin; idx < shard_end; ++idx) {
           local.evaluated += 1;
-          Layout layout(problem.schema, problem.box, placement);
-          CandidateEval eval = EvaluateOne(layout);
+          CandidateEval eval;
+          if (cursor != nullptr) {
+            eval = cursor->Eval(placement);
+          } else {
+            eval = EvaluateOne(Layout(problem.schema, problem.box, placement));
+          }
           if (eval.feasible) {
             if (!local.feasible_found ||
                 BetterCandidate(eval.toc, placement, local.best.toc,
@@ -95,11 +138,18 @@ CandidateEvaluator::SpaceScan CandidateEvaluator::ScanLayoutSpace(
               local.best_placement = placement;
             }
           }
-          // Advance the M-ary odometer (digit 0 least significant).
+          // Advance the M-ary odometer (digit 0 least significant) and tell
+          // the cursor which digits rolled — almost always just digit 0, so
+          // incremental scorers refresh O(changed digits) state per step.
           int digit = 0;
           while (digit < n) {
-            if (++placement[static_cast<size_t>(digit)] < m) break;
-            placement[static_cast<size_t>(digit)] = 0;
+            const size_t d = static_cast<size_t>(digit);
+            const bool carried = ++placement[d] >= m;
+            if (carried) placement[d] = 0;
+            if (cursor != nullptr && idx + 1 < shard_end) {
+              cursor->Touch(digit, placement);
+            }
+            if (!carried) break;
             ++digit;
           }
         }
@@ -116,6 +166,13 @@ CandidateEvaluator::SpaceScan CandidateEvaluator::ScanLayoutSpace(
       out.best = std::move(shard.best);
       out.best_placement = std::move(shard.best_placement);
     }
+  }
+
+  // Quick evaluations carry no PerfEstimate; re-score the winner through
+  // the full path (bit-identical toc/cost, now with the estimate filled).
+  if (out.feasible_found && fast_ != nullptr) {
+    out.best =
+        EvaluateOne(Layout(problem.schema, problem.box, out.best_placement));
   }
   return out;
 }

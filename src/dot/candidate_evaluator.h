@@ -1,6 +1,7 @@
 #ifndef DOTPROV_DOT_CANDIDATE_EVALUATOR_H_
 #define DOTPROV_DOT_CANDIDATE_EVALUATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -10,6 +11,8 @@
 #include "dot/sla.h"
 
 namespace dot {
+
+class FastEvaluator;  // dot/eval_tables.h (includes this header)
 
 /// Verdict of one candidate-layout evaluation. Pure data: producing one has
 /// no side effects, so evaluations can run on any thread and be committed —
@@ -48,20 +51,38 @@ class CandidateEvaluator {
   /// `estimator` supplies EstimateToc and the run's targets; `pool` supplies
   /// the lanes. Both must outlive the evaluator. The estimator is only read
   /// (EstimateToc is const and touches no mutable state), so concurrent
-  /// calls are safe.
+  /// calls are safe. Construction builds the TOC-only fast path (device-time
+  /// tables / plan cache) unless the problem disables it or the workload
+  /// model offers none.
   CandidateEvaluator(const DotOptimizer& estimator, ThreadPool* pool);
+  ~CandidateEvaluator();
 
-  /// Evaluates one candidate on the calling thread.
+  /// Evaluates one candidate on the calling thread, materializing the full
+  /// PerfEstimate. Used for the committed winner; the search loops go
+  /// through the quick variants.
   CandidateEval EvaluateOne(const Layout& layout) const;
 
   /// Evaluates `candidates` concurrently; results align with the input.
   std::vector<CandidateEval> EvaluateBatch(
       const std::vector<Layout>& candidates) const;
 
+  /// TOC-only evaluation: identical toc/cost/feasibility/violation to
+  /// EvaluateOne — bit-for-bit, so search decisions cannot differ — but
+  /// CandidateEval::estimate stays empty and no allocation is performed.
+  /// Falls back to EvaluateOne when the fast path is unavailable.
+  CandidateEval EvaluateQuick(const Layout& layout) const;
+
+  /// Quick variant of EvaluateBatch.
+  std::vector<CandidateEval> EvaluateBatchQuick(
+      const std::vector<Layout>& candidates) const;
+
   /// Scans layout indices [space_begin, space_end) of the mixed-radix space
   /// (placement[o] = (index / M^o) mod M — digit 0 least significant, the
   /// serial odometer's order), sharded across the pool, and returns the
-  /// feasible minimum under BetterCandidate.
+  /// feasible minimum under BetterCandidate. Each shard walks the odometer
+  /// with a fast-path cursor (only the rolled digits refresh scorer state);
+  /// the winner is re-scored through the full path so `best.estimate` is
+  /// populated exactly as before.
   struct SpaceScan {
     bool feasible_found = false;
     std::vector<int> best_placement;
@@ -72,9 +93,14 @@ class CandidateEvaluator {
 
   const DotOptimizer& estimator() const { return estimator_; }
 
+  /// Plan-cache traffic of this run's fast path (0/0 without one).
+  long long plan_cache_hits() const;
+  long long plan_cache_misses() const;
+
  private:
   const DotOptimizer& estimator_;
   ThreadPool* pool_;
+  std::unique_ptr<FastEvaluator> fast_;  ///< null when disabled/unavailable
 };
 
 /// placement[o] = (index / M^o) mod M for an N-digit, radix-M space.

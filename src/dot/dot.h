@@ -19,6 +19,7 @@
 #include "catalog/tpch_schema.h"
 #include "common/thread_pool.h"
 #include "dot/candidate_evaluator.h"
+#include "dot/eval_tables.h"
 #include "dot/exhaustive.h"
 #include "dot/layout.h"
 #include "dot/moves.h"

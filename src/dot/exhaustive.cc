@@ -53,6 +53,8 @@ DotResult ExhaustiveSearch(const DotProblem& problem,
   CandidateEvaluator::SpaceScan scan = evaluator.ScanLayoutSpace(0, total);
 
   result.layouts_evaluated = static_cast<int>(scan.evaluated);
+  result.plan_cache_hits = evaluator.plan_cache_hits();
+  result.plan_cache_misses = evaluator.plan_cache_misses();
   if (scan.feasible_found) {
     result.placement = std::move(scan.best_placement);
     result.toc_cents_per_task = scan.best.toc;

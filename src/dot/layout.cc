@@ -71,12 +71,16 @@ Status Layout::CheckCapacity() const {
 
 Layout::CapacityFit Layout::ComputeCapacityFit() const {
   const SpaceUsage used = SpaceByClass();
+  return FitFromSpace(*box_, used.data());
+}
+
+Layout::CapacityFit Layout::FitFromSpace(const BoxConfig& box,
+                                         const double* used_gb) {
   CapacityFit fit;
-  for (int j = 0; j < box_->NumClasses(); ++j) {
-    const double capacity =
-        box_->classes[static_cast<size_t>(j)].capacity_gb();
-    if (used[static_cast<size_t>(j)] >= capacity) fit.fits = false;
-    const double over = used[static_cast<size_t>(j)] - capacity;
+  for (int j = 0; j < box.NumClasses(); ++j) {
+    const double capacity = box.classes[static_cast<size_t>(j)].capacity_gb();
+    if (used_gb[j] >= capacity) fit.fits = false;
+    const double over = used_gb[j] - capacity;
     if (over > 0.0) fit.violation_gb += over;
   }
   return fit;

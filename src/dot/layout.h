@@ -50,6 +50,14 @@ class Layout {
   };
   CapacityFit ComputeCapacityFit() const;
 
+  /// The fit rule applied to an externally computed space vector (`used_gb`
+  /// has NumClasses() entries, summed in schema object order). This is the
+  /// one implementation of the rule: ComputeCapacityFit delegates here, and
+  /// the allocation-free fast path (dot/eval_tables.h) calls it on a stack
+  /// buffer, so both agree bit-for-bit.
+  static CapacityFit FitFromSpace(const BoxConfig& box,
+                                  const double* used_gb);
+
   /// Total over-capacity volume Σ_j max(0, S_j - c_j) in GB; 0 iff the
   /// layout fits. Used by the optimizer to march out of an over-full
   /// initial layout (e.g. a capacity-capped premium class, §4.5.3).

@@ -46,8 +46,11 @@ double DotOptimizer::EstimateToc(const std::vector<int>& placement,
 double DotOptimizer::EstimateToc(const Layout& layout,
                                  PerfEstimate* estimate_out,
                                  double* cost_out) const {
+  // When the caller discards the estimate, skip the per-object total-I/O
+  // accumulation (the throughput and TOC do not depend on it).
   PerfEstimate est = problem_.workload->EstimateWithIoScale(
-      layout.placement(), problem_.io_scale_hint);
+      layout.placement(), problem_.io_scale_hint,
+      /*need_io_by_object=*/estimate_out != nullptr);
   const double cost = layout.CostCentsPerHour(problem_.cost_model);
   DOT_CHECK(est.tasks_per_hour > 0) << "estimate produced zero throughput";
   const double toc = cost / est.tasks_per_hour;
@@ -83,6 +86,8 @@ DotResult DotOptimizer::Optimize() const {
   // discards (their base layout changed before their turn) simply never
   // reach this function — which is what keeps the committed sequence, and
   // therefore every field of the result, bit-identical to a serial walk.
+  // Evaluations here are TOC-only (no PerfEstimate is materialized); the
+  // winner is re-scored through the full path once, after the walk.
   auto commit = [&](const Layout& layout, const CandidateEval& eval) {
     result.layouts_evaluated += 1;
     if (!eval.feasible) return;
@@ -93,7 +98,6 @@ DotResult DotOptimizer::Optimize() const {
       result.placement = layout.placement();
       result.toc_cents_per_task = eval.toc;
       result.layout_cost_cents_per_hour = eval.cost_cents_per_hour;
-      result.estimate = eval.estimate;
     }
     feasible_found = true;
   };
@@ -101,7 +105,7 @@ DotResult DotOptimizer::Optimize() const {
   // L0 itself is the first candidate (feasible unless a capacity cap on
   // the premium class makes it over-full).
   {
-    const CandidateEval l0_eval = evaluator.EvaluateOne(current);
+    const CandidateEval l0_eval = evaluator.EvaluateQuick(current);
     commit(current, l0_eval);
     current_toc = l0_eval.toc;
   }
@@ -168,7 +172,8 @@ DotResult DotOptimizer::Optimize() const {
         batch_move.push_back(j);
       }
       if (batch.empty()) break;  // only identity moves remain this sweep
-      const std::vector<CandidateEval> evals = evaluator.EvaluateBatch(batch);
+      const std::vector<CandidateEval> evals =
+          evaluator.EvaluateBatchQuick(batch);
 
       next_move = batch_move.back() + 1;
       for (size_t k = 0; k < batch.size(); ++k) {
@@ -202,10 +207,19 @@ DotResult DotOptimizer::Optimize() const {
     if (!improved && sweep > 0) break;
   }
 
-  if (!feasible_found) {
+  if (feasible_found) {
+    // One full evaluation of L* fills result.estimate. The fast path's toc
+    // and cost are bit-identical to the full path's, so every committed
+    // field already matches what a full-evaluation walk would have
+    // recorded (pinned by dot_fast_eval_test).
+    result.estimate = problem_.workload->EstimateWithIoScale(
+        result.placement, problem_.io_scale_hint);
+  } else {
     result.status = Status::Infeasible(
         "no enumerated layout satisfies the capacity and SLA constraints");
   }
+  result.plan_cache_hits = evaluator.plan_cache_hits();
+  result.plan_cache_misses = evaluator.plan_cache_misses();
   result.optimize_ms = NowMs() - start_ms;
   return result;
 }

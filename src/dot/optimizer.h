@@ -35,6 +35,13 @@ struct DotResult {
   /// Number of candidate layouts evaluated (|Δ|+1 for DOT, M^N for ES).
   int layouts_evaluated = 0;
 
+  /// DSS plan-cache traffic of the run's fast evaluation path (both 0 for
+  /// OLTP models, which have no plan cache, and when the fast path is
+  /// disabled). Diagnostics only: the counts vary with thread count even
+  /// though the search result does not.
+  long long plan_cache_hits = 0;
+  long long plan_cache_misses = 0;
+
   /// Wall-clock optimization time.
   double optimize_ms = 0.0;
 };

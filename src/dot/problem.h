@@ -60,6 +60,13 @@ struct DotProblem {
   /// time.
   int num_threads = 1;
 
+  /// TOC-only fast path for candidate scoring (DESIGN.md §4): per-object
+  /// device-time tables, a footprint-keyed DSS plan cache, and
+  /// allocation-free space/cost sums. Scores are bit-identical to the full
+  /// estimate, so this changes wall-clock only; the flag exists for the
+  /// fast-vs-full equivalence tests and as an escape hatch.
+  bool use_fast_eval = true;
+
   // --- ablation knobs (defaults reproduce the full DOT method) ---
 
   /// Move acceptance rule (see MoveAcceptance).

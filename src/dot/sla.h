@@ -8,6 +8,13 @@
 
 namespace dot {
 
+/// The floating-point tolerance every SLA comparison uses. Named (rather
+/// than a scattered literal) because the TOC fast path precomputes
+/// tolerance-adjusted thresholds and must apply exactly the factor
+/// MeetsTargets applies, or fast and full feasibility verdicts could differ
+/// by one ULP.
+inline constexpr double kDefaultSlaTolerance = 1e-9;
+
 /// Concrete performance targets T = {t_i} (§2.4), derived from a relative
 /// SLA: per-query response-time caps for DSS workloads, a tpmC floor for
 /// OLTP (§4.3).
@@ -38,7 +45,7 @@ PerfTargets MakePerfTargets(const WorkloadModel& model, const BoxConfig& box,
 /// True iff `est` meets every target: all response-time caps (DSS) or the
 /// tpmC floor (OLTP). A small tolerance absorbs floating-point noise.
 bool MeetsTargets(const PerfEstimate& est, const PerfTargets& targets,
-                  double tolerance = 1e-9);
+                  double tolerance = kDefaultSlaTolerance);
 
 /// Performance satisfaction ratio (§4.3): the fraction of queries meeting
 /// their caps. For throughput workloads this is 1.0 or 0.0 ("the throughput

@@ -15,6 +15,12 @@ using ObjectIoMap = std::vector<IoVector>;
 /// Elementwise sum; `into` is resized up if needed.
 void AccumulateIo(ObjectIoMap& into, const ObjectIoMap& delta);
 
+/// into[o] += delta[o] * factor, without materializing a scaled copy of
+/// `delta` (the per-candidate copies this avoids were the hottest
+/// allocation in the workload models' estimate loops).
+void AccumulateScaledIo(ObjectIoMap& into, const ObjectIoMap& delta,
+                        double factor);
+
 /// Scales all counts by `factor` (e.g. query repetitions).
 void ScaleIo(ObjectIoMap& io, double factor);
 

@@ -53,6 +53,24 @@ double Planner::DeviceTimeMs(int object_id, const std::vector<int>& placement,
       io, config_.concurrency);
 }
 
+std::vector<int> Planner::QueryFootprint(const QuerySpec& spec) const {
+  std::vector<int> footprint;
+  for (const RelationAccess& ra : spec.relations) {
+    const int table_id = schema_->FindObject(ra.table);
+    DOT_CHECK(table_id >= 0) << "unknown table " << ra.table;
+    footprint.push_back(table_id);
+    const int index_id = schema_->PrimaryIndexOf(table_id);
+    if (index_id >= 0) footprint.push_back(index_id);
+  }
+  if (config_.temp_object_id >= 0) {
+    footprint.push_back(config_.temp_object_id);
+  }
+  std::sort(footprint.begin(), footprint.end());
+  footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                  footprint.end());
+  return footprint;
+}
+
 Planner::PathCost Planner::CostSeqScan(
     const RelationAccess& ra, const std::vector<int>& placement) const {
   const int table_id = schema_->FindObject(ra.table);

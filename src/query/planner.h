@@ -58,6 +58,13 @@ class Planner {
   Plan PlanQuery(const QuerySpec& spec,
                  const std::vector<int>& placement) const;
 
+  /// The placement footprint of `spec`: the sorted, deduplicated object ids
+  /// whose placement PlanQuery can ever consult for this template (each
+  /// referenced table, its primary index, and the temp object when spills
+  /// are modeled). Two placements that agree on the footprint yield the
+  /// same plan and the same estimated time — the key of the DSS plan cache.
+  std::vector<int> QueryFootprint(const QuerySpec& spec) const;
+
   const PlannerConfig& config() const { return config_; }
 
   /// Expected distinct pages fetched when `probes` uniform random probes hit

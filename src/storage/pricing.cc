@@ -32,10 +32,18 @@ double LinearLayoutCostCentsPerHour(const BoxConfig& box,
                                     const SpaceUsage& used_gb) {
   DOT_CHECK(used_gb.size() == box.classes.size())
       << "space usage arity mismatch";
+  return LinearLayoutCostCentsPerHour(box, used_gb.data(),
+                                      static_cast<int>(used_gb.size()));
+}
+
+double LinearLayoutCostCentsPerHour(const BoxConfig& box,
+                                    const double* used_gb, int num_classes) {
+  DOT_CHECK(num_classes == box.NumClasses()) << "space usage arity mismatch";
   double cost = 0.0;
-  for (size_t j = 0; j < used_gb.size(); ++j) {
+  for (int j = 0; j < num_classes; ++j) {
     DOT_CHECK(used_gb[j] >= 0) << "negative space usage";
-    cost += box.classes[j].price_cents_per_gb_hour() * used_gb[j];
+    cost += box.classes[static_cast<size_t>(j)].price_cents_per_gb_hour() *
+            used_gb[j];
   }
   return cost;
 }
@@ -45,12 +53,20 @@ double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
                                       double alpha) {
   DOT_CHECK(used_gb.size() == box.classes.size())
       << "space usage arity mismatch";
+  return DiscreteLayoutCostCentsPerHour(
+      box, used_gb.data(), static_cast<int>(used_gb.size()), alpha);
+}
+
+double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
+                                      const double* used_gb, int num_classes,
+                                      double alpha) {
+  DOT_CHECK(num_classes == box.NumClasses()) << "space usage arity mismatch";
   DOT_CHECK(alpha >= 0.0 && alpha <= 1.0) << "alpha must be in [0,1]";
   double cost = 0.0;
-  for (size_t j = 0; j < used_gb.size(); ++j) {
+  for (int j = 0; j < num_classes; ++j) {
     DOT_CHECK(used_gb[j] >= 0) << "negative space usage";
     if (used_gb[j] == 0.0) continue;  // unused class: device not purchased
-    const StorageClass& sc = box.classes[j];
+    const StorageClass& sc = box.classes[static_cast<size_t>(j)];
     const double unit_gb = sc.capacity_gb();
     const double units = std::ceil(used_gb[j] / unit_gb);
     const double full_unit_cost =
@@ -64,9 +80,18 @@ double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
 
 double LayoutCostCentsPerHour(const BoxConfig& box, const SpaceUsage& used_gb,
                               const CostModelSpec& spec) {
+  DOT_CHECK(used_gb.size() == box.classes.size())
+      << "space usage arity mismatch";
+  return LayoutCostCentsPerHour(box, used_gb.data(),
+                                static_cast<int>(used_gb.size()), spec);
+}
+
+double LayoutCostCentsPerHour(const BoxConfig& box, const double* used_gb,
+                              int num_classes, const CostModelSpec& spec) {
   return spec.discrete
-             ? DiscreteLayoutCostCentsPerHour(box, used_gb, spec.alpha)
-             : LinearLayoutCostCentsPerHour(box, used_gb);
+             ? DiscreteLayoutCostCentsPerHour(box, used_gb, num_classes,
+                                              spec.alpha)
+             : LinearLayoutCostCentsPerHour(box, used_gb, num_classes);
 }
 
 double WorkloadTocCents(double layout_cost_cents_per_hour,

@@ -25,6 +25,14 @@ using SpaceUsage = std::vector<double>;
 double LinearLayoutCostCentsPerHour(const BoxConfig& box,
                                     const SpaceUsage& used_gb);
 
+/// Span form of the linear cost: `used_gb` points at NumClasses() entries.
+/// The vector overload delegates here, so both run the same summation and
+/// agree bit-for-bit — the contract the allocation-free TOC fast path
+/// (dot/eval_tables.h) relies on when it prices candidates from a stack
+/// buffer instead of a SpaceUsage vector.
+double LinearLayoutCostCentsPerHour(const BoxConfig& box,
+                                    const double* used_gb, int num_classes);
+
 /// Discrete-sized layout cost (§5.2):
 ///   C(L) = Σ_j [ α·(p_j·c_j·n_j) + (1-α)·p_j·S_j ]
 /// where n_j = ceil(S_j / c_j) is the number of discrete units of class j the
@@ -32,6 +40,12 @@ double LinearLayoutCostCentsPerHour(const BoxConfig& box,
 /// recovers the linear model; α=1 charges for whole devices only.
 double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
                                       const SpaceUsage& used_gb, double alpha);
+
+/// Span form of the discrete cost (same bit-for-bit contract as the linear
+/// span form).
+double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
+                                      const double* used_gb, int num_classes,
+                                      double alpha);
 
 /// Workload cost, i.e. the TOC (§2.1/§2.3): layout cost (cents/hour) times
 /// workload execution time, yielding cents per workload execution.
@@ -47,6 +61,10 @@ struct CostModelSpec {
 /// Dispatches to the linear or discrete layout cost.
 double LayoutCostCentsPerHour(const BoxConfig& box, const SpaceUsage& used_gb,
                               const CostModelSpec& spec);
+
+/// Span form of the dispatch.
+double LayoutCostCentsPerHour(const BoxConfig& box, const double* used_gb,
+                              int num_classes, const CostModelSpec& spec);
 
 }  // namespace dot
 

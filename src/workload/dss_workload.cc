@@ -1,9 +1,210 @@
 #include "workload/dss_workload.h"
 
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
 #include "common/check.h"
 #include "common/units.h"
 
 namespace dot {
+
+namespace {
+
+/// The DSS fast path. Per template it keeps a cache of estimated times
+/// keyed by the placement restricted to the template's footprint; scoring a
+/// candidate is T cache probes plus a fixed-order sum over the run
+/// sequence. Cache values are deterministic functions of their key, so
+/// concurrent fill-in (and any thread interleaving) cannot change a score.
+class DssFastScorer : public FastScorer {
+ public:
+  DssFastScorer(const DssWorkloadModel* model, const BoxConfig* box,
+                std::vector<double> io_scale,
+                const std::vector<double>& query_caps_ms,
+                double sla_tolerance)
+      : model_(model), box_(box), io_scale_(std::move(io_scale)) {
+    const auto& templates = model_->templates();
+    const auto& sequence = model_->sequence();
+    DOT_CHECK(query_caps_ms.size() == sequence.size())
+        << "caps/sequence arity mismatch";
+
+    // Per-template response-time threshold: the tightest cap over the
+    // template's sequence entries, tolerance-adjusted exactly the way
+    // MeetsTargets adjusts each entry's cap. Comparing one template time
+    // against the min cap is equivalent to comparing every entry (entries
+    // of the same template share one time), so verdicts match the full
+    // path's entry-by-entry check.
+    thresholds_.assign(templates.size(),
+                       std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      double& thr = thresholds_[static_cast<size_t>(sequence[i])];
+      thr = std::min(thr, query_caps_ms[i]);
+    }
+    for (double& thr : thresholds_) thr = thr * (1 + sla_tolerance);
+
+    // Templates the sequence never runs are never planned (the full path
+    // skips them too): empty footprint, no cache, time pinned to 0.
+    used_.assign(templates.size(), false);
+    for (int idx : sequence) used_[static_cast<size_t>(idx)] = true;
+
+    const int num_objects = model_->schema().NumObjects();
+    templates_by_object_.assign(static_cast<size_t>(num_objects), {});
+    footprints_.resize(templates.size());
+    for (size_t t = 0; t < templates.size(); ++t) {
+      caches_.push_back(std::make_unique<TemplateCache>());
+      if (!used_[t]) continue;
+      footprints_[t] = model_->planner().QueryFootprint(templates[t]);
+      for (int o : footprints_[t]) {
+        templates_by_object_[static_cast<size_t>(o)].push_back(
+            static_cast<int>(t));
+      }
+    }
+  }
+
+  QuickPerf Score(const std::vector<int>& placement) const override {
+    // Per-thread scratch: sized once, then reused allocation-free.
+    static thread_local std::vector<double> times;
+    static thread_local std::string sig;
+    times.resize(footprints_.size());
+    for (size_t t = 0; t < footprints_.size(); ++t) {
+      times[t] = TemplateTime(static_cast<int>(t), placement, sig);
+    }
+    return ScoreFromTimes(times.data());
+  }
+
+  std::unique_ptr<FastScorer::Cursor> MakeCursor() const override {
+    return std::make_unique<Cursor>(this);
+  }
+
+  long long cache_hits() const override {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  long long cache_misses() const override {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Incremental walker: re-resolves only the templates whose footprint
+  /// contains a touched object; every other template keeps its time.
+  class Cursor : public FastScorer::Cursor {
+   public:
+    explicit Cursor(const DssFastScorer* scorer) : scorer_(scorer) {}
+
+    void Reset(const std::vector<int>& placement) override {
+      times_.resize(scorer_->footprints_.size());
+      for (size_t t = 0; t < times_.size(); ++t) {
+        times_[t] =
+            scorer_->TemplateTime(static_cast<int>(t), placement, sig_);
+      }
+    }
+
+    void Touch(int object_id, const std::vector<int>& placement) override {
+      for (int t :
+           scorer_->templates_by_object_[static_cast<size_t>(object_id)]) {
+        times_[static_cast<size_t>(t)] =
+            scorer_->TemplateTime(t, placement, sig_);
+      }
+    }
+
+    QuickPerf Score(const std::vector<int>& placement) const override {
+      (void)placement;  // the per-template times already reflect it
+      return scorer_->ScoreFromTimes(times_.data());
+    }
+
+   private:
+    const DssFastScorer* scorer_;
+    std::vector<double> times_;
+    std::string sig_;
+  };
+
+  struct TemplateCache {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, double> by_signature;
+  };
+
+  /// Estimated time of template `t`, via the cache. `sig` is caller scratch
+  /// (small-string optimized: building a key allocates nothing for
+  /// footprints up to ~22 objects).
+  double TemplateTime(int t, const std::vector<int>& placement,
+                      std::string& sig) const {
+    if (!used_[static_cast<size_t>(t)]) return 0.0;
+    const std::vector<int>& footprint = footprints_[static_cast<size_t>(t)];
+    sig.resize(footprint.size());
+    for (size_t i = 0; i < footprint.size(); ++i) {
+      sig[i] = static_cast<char>(
+          placement[static_cast<size_t>(footprint[i])]);
+    }
+    TemplateCache& cache = *caches_[static_cast<size_t>(t)];
+    {
+      std::shared_lock<std::shared_mutex> lock(cache.mu);
+      auto it = cache.by_signature.find(sig);
+      if (it != cache.by_signature.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    // Miss: plan outside the lock (planning is the expensive part), then
+    // insert. A concurrent planner of the same key computed the same value,
+    // so first-wins insertion is safe.
+    const double time_ms = PlanTime(t, placement);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::shared_mutex> lock(cache.mu);
+    return cache.by_signature.emplace(sig, time_ms).first->second;
+  }
+
+  /// Uncached time: exactly the per-template arithmetic of
+  /// DssWorkloadModel::EstimateWithIoScale.
+  double PlanTime(int t, const std::vector<int>& placement) const {
+    Plan plan = model_->PlanTemplate(t, placement);
+    double time_ms = plan.time_ms;
+    if (!io_scale_.empty()) {
+      ObjectIoMap scaled = std::move(plan.io_by_object);
+      for (size_t o = 0; o < scaled.size(); ++o) scaled[o] *= io_scale_[o];
+      time_ms = IoTimeShareMs(scaled, placement, *box_,
+                              model_->concurrency()) +
+                plan.cpu_ms;
+    }
+    return time_ms;
+  }
+
+  /// The sequence walk and SLA verdict, shared by Score and the cursor.
+  QuickPerf ScoreFromTimes(const double* time_by_template) const {
+    QuickPerf qp;
+    qp.sla_ok = true;
+    for (size_t t = 0; t < thresholds_.size(); ++t) {
+      if (time_by_template[t] > thresholds_[t]) {
+        qp.sla_ok = false;
+        break;
+      }
+    }
+    const std::vector<int>& sequence = model_->sequence();
+    for (int idx : sequence) {
+      qp.elapsed_ms += time_by_template[static_cast<size_t>(idx)];
+    }
+    if (qp.elapsed_ms > 0) {
+      qp.tasks_per_hour = static_cast<double>(sequence.size()) /
+                          (qp.elapsed_ms / kMsPerHour);
+    }
+    return qp;
+  }
+
+  const DssWorkloadModel* model_;
+  const BoxConfig* box_;
+  std::vector<double> io_scale_;
+  std::vector<bool> used_;               ///< template appears in sequence
+  std::vector<double> thresholds_;       ///< per template, +inf if unused
+  std::vector<std::vector<int>> footprints_;  ///< empty if unused
+  std::vector<std::vector<int>> templates_by_object_;
+  std::vector<std::unique_ptr<TemplateCache>> caches_;
+  mutable std::atomic<long long> hits_{0};
+  mutable std::atomic<long long> misses_{0};
+};
+
+}  // namespace
 
 DssWorkloadModel::DssWorkloadModel(std::string name, const Schema* schema,
                                    const BoxConfig* box,
@@ -15,12 +216,14 @@ DssWorkloadModel::DssWorkloadModel(std::string name, const Schema* schema,
       box_(box),
       templates_(std::move(templates)),
       sequence_(std::move(sequence)),
+      seq_count_(templates_.size(), 0),
       planner_(schema, box, planner_config) {
   DOT_CHECK(!templates_.empty()) << "DSS workload needs query templates";
   DOT_CHECK(!sequence_.empty()) << "DSS workload needs a run sequence";
   for (int idx : sequence_) {
     DOT_CHECK(idx >= 0 && idx < static_cast<int>(templates_.size()))
         << "sequence references unknown template " << idx;
+    seq_count_[static_cast<size_t>(idx)] += 1;
   }
 }
 
@@ -38,21 +241,27 @@ PerfEstimate DssWorkloadModel::Estimate(
 }
 
 PerfEstimate DssWorkloadModel::EstimateWithIoScale(
-    const std::vector<int>& placement,
-    const std::vector<double>& io_scale) const {
+    const std::vector<int>& placement, const std::vector<double>& io_scale,
+    bool need_io_by_object) const {
   DOT_CHECK(io_scale.empty() ||
             static_cast<int>(io_scale.size()) == schema_->NumObjects())
       << "io_scale arity mismatch";
   PerfEstimate est;
-  est.io_by_object.assign(static_cast<size_t>(schema_->NumObjects()),
-                          IoVector{});
+  est.unit_times_ms.reserve(sequence_.size());
 
-  // Plan each distinct template once; replicate per the run sequence.
+  // Plan each distinct template once (skipping templates the sequence never
+  // runs); replicate per the run sequence.
   std::vector<Plan> plans;
   std::vector<double> plan_times;
   plans.reserve(templates_.size());
-  for (const QuerySpec& spec : templates_) {
-    Plan plan = planner_.PlanQuery(spec, placement);
+  plan_times.reserve(templates_.size());
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    if (seq_count_[t] == 0) {
+      plans.emplace_back();
+      plan_times.push_back(0.0);
+      continue;
+    }
+    Plan plan = planner_.PlanQuery(templates_[t], placement);
     double time_ms = plan.time_ms;
     if (!io_scale.empty()) {
       ObjectIoMap scaled = plan.io_by_object;
@@ -67,19 +276,44 @@ PerfEstimate DssWorkloadModel::EstimateWithIoScale(
   }
 
   for (int idx : sequence_) {
-    const Plan& plan = plans[static_cast<size_t>(idx)];
     const double time_ms = plan_times[static_cast<size_t>(idx)];
     est.unit_times_ms.push_back(time_ms);
     est.elapsed_ms += time_ms;
-    AccumulateIo(est.io_by_object, plan.io_by_object);
-    est.num_joins += plan.num_joins;
-    est.num_index_nl_joins += plan.num_index_nl_joins;
   }
+
+  // Each distinct plan's I/O and join census enter `count` times; multiply
+  // once instead of re-accumulating per sequence entry.
+  if (need_io_by_object) {
+    est.io_by_object.assign(static_cast<size_t>(schema_->NumObjects()),
+                            IoVector{});
+  }
+  for (size_t t = 0; t < templates_.size(); ++t) {
+    const int count = seq_count_[t];
+    if (count == 0) continue;
+    est.num_joins += count * plans[t].num_joins;
+    est.num_index_nl_joins += count * plans[t].num_index_nl_joins;
+    if (need_io_by_object) {
+      AccumulateScaledIo(est.io_by_object, plans[t].io_by_object, count);
+    }
+  }
+
   if (est.elapsed_ms > 0) {
     est.tasks_per_hour =
         static_cast<double>(sequence_.size()) / (est.elapsed_ms / kMsPerHour);
   }
   return est;
+}
+
+std::unique_ptr<FastScorer> DssWorkloadModel::MakeFastScorer(
+    const std::vector<double>& io_scale,
+    const std::vector<double>& query_caps_ms, double min_tpmc,
+    double sla_tolerance) const {
+  (void)min_tpmc;  // response-time SLA: only the per-entry caps apply
+  DOT_CHECK(io_scale.empty() ||
+            static_cast<int>(io_scale.size()) == schema_->NumObjects())
+      << "io_scale arity mismatch";
+  return std::make_unique<DssFastScorer>(this, box_, io_scale, query_caps_ms,
+                                         sla_tolerance);
 }
 
 }  // namespace dot

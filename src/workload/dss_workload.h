@@ -33,12 +33,23 @@ class DssWorkloadModel : public WorkloadModel {
   }
   PerfEstimate Estimate(const std::vector<int>& placement) const override;
   PerfEstimate EstimateWithIoScale(
-      const std::vector<int>& placement,
-      const std::vector<double>& io_scale) const override;
+      const std::vector<int>& placement, const std::vector<double>& io_scale,
+      bool need_io_by_object = true) const override;
+
+  /// TOC-only fast path: a per-template plan cache keyed by the placement
+  /// restricted to the template's footprint (a template's plan — and its
+  /// estimated time — depends on no other object), so a move that does not
+  /// touch a template's objects reuses the cached time instead of
+  /// re-running Planner::PlanQuery. Bit-identical to EstimateWithIoScale.
+  std::unique_ptr<FastScorer> MakeFastScorer(
+      const std::vector<double>& io_scale,
+      const std::vector<double>& query_caps_ms, double min_tpmc,
+      double sla_tolerance) const override;
 
   const std::vector<QuerySpec>& templates() const { return templates_; }
   const std::vector<int>& sequence() const { return sequence_; }
   const Schema& schema() const { return *schema_; }
+  const Planner& planner() const { return planner_; }
 
   /// Plans a single template under `placement` (used by the INLJ-share
   /// analysis bench and by tests).
@@ -51,6 +62,7 @@ class DssWorkloadModel : public WorkloadModel {
   const BoxConfig* box_;
   std::vector<QuerySpec> templates_;
   std::vector<int> sequence_;
+  std::vector<int> seq_count_;  ///< occurrences of each template in sequence_
   Planner planner_;
 };
 

@@ -8,6 +8,90 @@
 
 namespace dot {
 
+namespace {
+
+/// The OLTP fast path: per-(transaction, object, class) device times,
+/// precomputed once (with any io_scale baked in), summed per candidate in
+/// the same object order as IoTimeShareMs. No allocation per Score call.
+class OltpFastScorer : public FastScorer {
+ public:
+  OltpFastScorer(const OltpWorkloadModel* model, const BoxConfig* box,
+                 double measurement_period_ms,
+                 const std::vector<double>& io_scale, double min_tpmc,
+                 double sla_tolerance)
+      : model_(model),
+        measurement_period_ms_(measurement_period_ms),
+        // Exactly the comparison MeetsTargets makes for throughput SLAs.
+        tpmc_floor_(min_tpmc * (1 - sla_tolerance)) {
+    const int num_classes = box->NumClasses();
+    for (const TxnType& t : model->txn_types()) {
+      TxnTable table;
+      table.weight = t.weight;
+      table.cpu_ms = t.cpu_ms;
+      table.overhead_ms = t.overhead_ms;
+      for (size_t o = 0; o < t.io.size(); ++o) {
+        IoVector io = t.io[o];
+        if (!io_scale.empty()) io *= io_scale[o];
+        // IoTimeShareMs skips zero entries; mirror that by storing only
+        // non-zero rows (a zero row would contribute an exact 0.0 anyway).
+        if (io.IsZero()) continue;
+        Row row;
+        row.object = static_cast<int>(o);
+        row.time_by_class.reserve(static_cast<size_t>(num_classes));
+        for (int c = 0; c < num_classes; ++c) {
+          row.time_by_class.push_back(
+              box->classes[static_cast<size_t>(c)].device().TimeForMs(
+                  io, model->concurrency()));
+        }
+        table.rows.push_back(std::move(row));
+      }
+      tables_.push_back(std::move(table));
+    }
+  }
+
+  QuickPerf Score(const std::vector<int>& placement) const override {
+    double mean_latency_ms = 0.0;
+    for (const TxnTable& t : tables_) {
+      double io_ms = 0.0;
+      for (const Row& row : t.rows) {
+        io_ms +=
+            row.time_by_class[static_cast<size_t>(
+                placement[static_cast<size_t>(row.object)])];
+      }
+      const double latency = io_ms + t.cpu_ms + t.overhead_ms;
+      mean_latency_ms += t.weight * latency;
+    }
+    DOT_CHECK(mean_latency_ms > 0);
+    const OltpWorkloadModel::Throughput tp =
+        model_->ThroughputFromMeanLatency(mean_latency_ms);
+    QuickPerf qp;
+    qp.elapsed_ms = measurement_period_ms_;
+    qp.tpmc = tp.tpmc;
+    qp.tasks_per_hour = tp.tasks_per_hour;
+    qp.sla_ok = qp.tpmc >= tpmc_floor_;
+    return qp;
+  }
+
+ private:
+  struct Row {
+    int object = -1;
+    std::vector<double> time_by_class;  ///< τ·χ summed over I/O types
+  };
+  struct TxnTable {
+    double weight = 0.0;
+    double cpu_ms = 0.0;
+    double overhead_ms = 0.0;
+    std::vector<Row> rows;  ///< ascending object id, non-zero I/O only
+  };
+
+  const OltpWorkloadModel* model_;
+  double measurement_period_ms_;
+  double tpmc_floor_;
+  std::vector<TxnTable> tables_;
+};
+
+}  // namespace
+
 OltpWorkloadModel::OltpWorkloadModel(std::string name, const Schema* schema,
                                      const BoxConfig* box,
                                      std::vector<TxnType> txn_types,
@@ -43,38 +127,8 @@ PerfEstimate OltpWorkloadModel::Estimate(
   return EstimateWithIoScale(placement, {});
 }
 
-PerfEstimate OltpWorkloadModel::EstimateWithIoScale(
-    const std::vector<int>& placement,
-    const std::vector<double>& io_scale) const {
-  DOT_CHECK(static_cast<int>(placement.size()) == schema_->NumObjects());
-  DOT_CHECK(io_scale.empty() ||
-            static_cast<int>(io_scale.size()) == schema_->NumObjects())
-      << "io_scale arity mismatch";
-
-  PerfEstimate est;
-  est.elapsed_ms = measurement_period_ms_;
-  est.io_by_object.assign(static_cast<size_t>(schema_->NumObjects()),
-                          IoVector{});
-
-  auto scaled_io = [&](const TxnType& t) {
-    ObjectIoMap io = t.io;
-    if (!io_scale.empty()) {
-      for (size_t o = 0; o < io.size(); ++o) io[o] *= io_scale[o];
-    }
-    return io;
-  };
-
-  // Mix-weighted mean transaction latency at the workload's concurrency.
-  double mean_latency_ms = 0.0;
-  for (const TxnType& t : txn_types_) {
-    const double io_ms =
-        IoTimeShareMs(scaled_io(t), placement, *box_, concurrency_);
-    const double latency = io_ms + t.cpu_ms + t.overhead_ms;
-    est.unit_times_ms.push_back(latency);
-    mean_latency_ms += t.weight * latency;
-  }
-  DOT_CHECK(mean_latency_ms > 0);
-
+OltpWorkloadModel::Throughput OltpWorkloadModel::ThroughputFromMeanLatency(
+    double mean_latency_ms) const {
   // Lock-convoy contention: long transactions hold locks longer and
   // collide more, so effective latency diverges as the mean service demand
   // approaches the system's saturation point (see header).
@@ -88,22 +142,77 @@ PerfEstimate OltpWorkloadModel::EstimateWithIoScale(
   }
 
   // Closed-loop throughput: c terminals, zero think time.
-  const double txns_per_minute =
-      concurrency_ * kMsPerMinute / effective_latency_ms;
+  Throughput tp;
+  tp.txns_per_minute = concurrency_ * kMsPerMinute / effective_latency_ms;
   const double primary_weight =
       txn_types_[static_cast<size_t>(primary_txn_)].weight;
-  est.tpmc = txns_per_minute * primary_weight;
-  est.tasks_per_hour = est.tpmc * 60.0;
+  tp.tpmc = tp.txns_per_minute * primary_weight;
+  tp.tasks_per_hour = tp.tpmc * 60.0;
+  return tp;
+}
 
-  // Total I/O over the measurement period.
-  const double txns_total =
-      txns_per_minute * (measurement_period_ms_ / kMsPerMinute);
+PerfEstimate OltpWorkloadModel::EstimateWithIoScale(
+    const std::vector<int>& placement, const std::vector<double>& io_scale,
+    bool need_io_by_object) const {
+  DOT_CHECK(static_cast<int>(placement.size()) == schema_->NumObjects());
+  DOT_CHECK(io_scale.empty() ||
+            static_cast<int>(io_scale.size()) == schema_->NumObjects())
+      << "io_scale arity mismatch";
+
+  PerfEstimate est;
+  est.elapsed_ms = measurement_period_ms_;
+  est.unit_times_ms.reserve(txn_types_.size());
+
+  // One scratch buffer, reused across transaction types; untouched (and the
+  // per-type footprints never copied) when there is no scaling to apply.
+  const bool scaled = !io_scale.empty();
+  ObjectIoMap scratch;
+  auto scaled_io = [&](const TxnType& t) -> const ObjectIoMap& {
+    if (!scaled) return t.io;
+    scratch = t.io;
+    for (size_t o = 0; o < scratch.size(); ++o) scratch[o] *= io_scale[o];
+    return scratch;
+  };
+
+  // Mix-weighted mean transaction latency at the workload's concurrency.
+  double mean_latency_ms = 0.0;
   for (const TxnType& t : txn_types_) {
-    ObjectIoMap io = scaled_io(t);
-    ScaleIo(io, txns_total * t.weight);
-    AccumulateIo(est.io_by_object, io);
+    const double io_ms =
+        IoTimeShareMs(scaled_io(t), placement, *box_, concurrency_);
+    const double latency = io_ms + t.cpu_ms + t.overhead_ms;
+    est.unit_times_ms.push_back(latency);
+    mean_latency_ms += t.weight * latency;
+  }
+  DOT_CHECK(mean_latency_ms > 0);
+
+  const Throughput tp = ThroughputFromMeanLatency(mean_latency_ms);
+  est.tpmc = tp.tpmc;
+  est.tasks_per_hour = tp.tasks_per_hour;
+
+  if (need_io_by_object) {
+    // Total I/O over the measurement period.
+    est.io_by_object.assign(static_cast<size_t>(schema_->NumObjects()),
+                            IoVector{});
+    const double txns_total =
+        tp.txns_per_minute * (measurement_period_ms_ / kMsPerMinute);
+    for (const TxnType& t : txn_types_) {
+      AccumulateScaledIo(est.io_by_object, scaled_io(t),
+                         txns_total * t.weight);
+    }
   }
   return est;
+}
+
+std::unique_ptr<FastScorer> OltpWorkloadModel::MakeFastScorer(
+    const std::vector<double>& io_scale,
+    const std::vector<double>& query_caps_ms, double min_tpmc,
+    double sla_tolerance) const {
+  (void)query_caps_ms;  // throughput SLA: only the tpmC floor applies
+  DOT_CHECK(io_scale.empty() ||
+            static_cast<int>(io_scale.size()) == schema_->NumObjects())
+      << "io_scale arity mismatch";
+  return std::make_unique<OltpFastScorer>(this, box_, measurement_period_ms_,
+                                          io_scale, min_tpmc, sla_tolerance);
 }
 
 }  // namespace dot

@@ -56,15 +56,34 @@ class OltpWorkloadModel : public WorkloadModel {
   SlaKind sla_kind() const override { return SlaKind::kThroughput; }
   PerfEstimate Estimate(const std::vector<int>& placement) const override;
   PerfEstimate EstimateWithIoScale(
-      const std::vector<int>& placement,
-      const std::vector<double>& io_scale) const override;
+      const std::vector<int>& placement, const std::vector<double>& io_scale,
+      bool need_io_by_object = true) const override;
   bool PlansArePlacementInvariant() const override { return true; }
+
+  /// TOC-only fast path: per-(transaction, object, class) device-time
+  /// tables, so one candidate costs a fixed-order table-lookup sum with
+  /// zero allocation. Bit-identical to EstimateWithIoScale (same summation
+  /// order over the same precomputed per-object times).
+  std::unique_ptr<FastScorer> MakeFastScorer(
+      const std::vector<double>& io_scale,
+      const std::vector<double>& query_caps_ms, double min_tpmc,
+      double sla_tolerance) const override;
 
   const std::vector<TxnType>& txn_types() const { return txn_types_; }
 
   /// Index of the transaction type whose rate defines "tasks" (tpmC); the
   /// type named "NewOrder" if present, otherwise type 0.
   int primary_txn_index() const { return primary_txn_; }
+
+  /// The mean-latency → throughput kernel (contention term + closed-loop
+  /// rate + mix shares). Shared by the full estimate and the fast scorer so
+  /// both run exactly the same arithmetic; not intended for external use.
+  struct Throughput {
+    double txns_per_minute = 0.0;
+    double tpmc = 0.0;
+    double tasks_per_hour = 0.0;
+  };
+  Throughput ThroughputFromMeanLatency(double mean_latency_ms) const;
 
  private:
   std::string name_;

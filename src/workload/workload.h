@@ -1,6 +1,7 @@
 #ifndef DOTPROV_WORKLOAD_WORKLOAD_H_
 #define DOTPROV_WORKLOAD_WORKLOAD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,66 @@ struct PerfEstimate {
   int num_index_nl_joins = 0;
 };
 
+/// The TOC-only scoring result of the candidate-evaluation fast path: just
+/// the scalars the search loops consume, with no unit-time vector and no
+/// per-object I/O map (see DESIGN.md §4). Every field must be bit-identical
+/// to what the corresponding full Estimate would produce — the fast path is
+/// an evaluation-order-preserving reorganization, not an approximation.
+struct QuickPerf {
+  double elapsed_ms = 0.0;
+  double tasks_per_hour = 0.0;
+  double tpmc = 0.0;
+  /// Verdict of the model's SLA check against the caps the scorer was built
+  /// with (per-entry response-time caps for DSS, the tpmC floor for OLTP).
+  bool sla_ok = false;
+};
+
+/// Allocation-free candidate scorer a workload model can offer the search
+/// engine. Built once per optimization run (per-object device-time tables
+/// for OLTP, a placement-signature plan cache for DSS) and then queried for
+/// thousands of candidate placements.
+///
+/// Thread-safety: Score() must be safe to call concurrently (internal caches
+/// synchronize themselves); a Cursor is single-threaded state and each shard
+/// of a scan must create its own.
+class FastScorer {
+ public:
+  virtual ~FastScorer() = default;
+
+  /// Scores one placement. Bit-identical to the model's full estimate.
+  virtual QuickPerf Score(const std::vector<int>& placement) const = 0;
+
+  /// Incremental walker for odometer-style scans (the exhaustive search):
+  /// the caller announces which single objects changed since the last step
+  /// so the scorer refreshes only the state those objects invalidate (for
+  /// DSS, only the query templates whose footprint contains a changed
+  /// object re-resolve their cached plan). Scalar totals are still re-summed
+  /// in fixed object order on every Score — a floating-point delta update
+  /// would make the value depend on the walk's starting point and break the
+  /// shard-independence the determinism contract requires (DESIGN.md §2).
+  class Cursor {
+   public:
+    virtual ~Cursor() = default;
+    /// (Re)seeds the cursor from a full placement.
+    virtual void Reset(const std::vector<int>& placement) { (void)placement; }
+    /// `placement` already reflects object `object_id`'s new class.
+    virtual void Touch(int object_id, const std::vector<int>& placement) {
+      (void)object_id;
+      (void)placement;
+    }
+    virtual QuickPerf Score(const std::vector<int>& placement) const = 0;
+  };
+
+  /// Returns a fresh cursor. The default has no incremental state and simply
+  /// re-scores from scratch (correct for models whose Score is already a
+  /// flat table-lookup sum, e.g. OLTP).
+  virtual std::unique_ptr<Cursor> MakeCursor() const;
+
+  /// Plan-cache traffic (0/0 for models without a plan cache).
+  virtual long long cache_hits() const { return 0; }
+  virtual long long cache_misses() const { return 0; }
+};
+
 /// A provisioning workload W: something DOT can ask for a performance
 /// estimate under any candidate placement. Implementations: DssWorkloadModel
 /// (plans each query with the storage-aware optimizer) and OltpWorkloadModel
@@ -64,9 +125,29 @@ class WorkloadModel {
   /// `io_scale[o]` before timing. Models a workload whose true I/O deviates
   /// from what the optimizer predicted — the situation the validation and
   /// refinement phases exist to catch. An empty vector means no scaling.
+  /// `need_io_by_object = false` lets callers that only consume times and
+  /// throughput skip the total-I/O accumulation (io_by_object comes back
+  /// empty); every other field is unaffected.
   virtual PerfEstimate EstimateWithIoScale(
-      const std::vector<int>& placement,
-      const std::vector<double>& io_scale) const;
+      const std::vector<int>& placement, const std::vector<double>& io_scale,
+      bool need_io_by_object = true) const;
+
+  /// Builds this model's fast scorer, or nullptr when the model has none
+  /// (the search engine then falls back to full estimates). `query_caps_ms`
+  /// aligns with unit_times_ms (per run-sequence entry) and is consulted for
+  /// kPerQueryResponseTime models; `min_tpmc` for kThroughput models.
+  /// `sla_tolerance` must be the tolerance the caller's full-path SLA check
+  /// uses. `io_scale` is baked into the scorer's tables.
+  virtual std::unique_ptr<FastScorer> MakeFastScorer(
+      const std::vector<double>& io_scale,
+      const std::vector<double>& query_caps_ms, double min_tpmc,
+      double sla_tolerance) const {
+    (void)io_scale;
+    (void)query_caps_ms;
+    (void)min_tpmc;
+    (void)sla_tolerance;
+    return nullptr;
+  }
 
   /// True when the workload's plans cannot change with placement (§4.5.1:
   /// TPC-C is all random access), letting the profiler collapse all
