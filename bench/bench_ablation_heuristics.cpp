@@ -37,14 +37,14 @@ int main() {
     auto add = [&](const std::string& name, const DotResult& r) {
       if (!r.status.ok()) {
         t.AddRow({name, "infeasible", "-", "-",
-                  StrPrintf("%d", r.layouts_evaluated)});
+                  StrPrintf("%lld", r.layouts_evaluated)});
         return;
       }
       t.AddRow({name, StrPrintf("%.5f", r.toc_cents_per_task),
                 StrPrintf("%.2fx",
                           r.toc_cents_per_task / es.toc_cents_per_task),
                 dot::bench::Minutes(r.estimate.elapsed_ms),
-                StrPrintf("%d", r.layouts_evaluated)});
+                StrPrintf("%lld", r.layouts_evaluated)});
     };
 
     add("ES (optimum)", es);
@@ -92,12 +92,12 @@ int main() {
     auto add = [&](const std::string& name, const DotResult& r) {
       if (!r.status.ok()) {
         t.AddRow({name, "infeasible", "-",
-                  StrPrintf("%d", r.layouts_evaluated)});
+                  StrPrintf("%lld", r.layouts_evaluated)});
         return;
       }
       t.AddRow({name, StrPrintf("%.5f", r.toc_cents_per_task),
                 dot::bench::Minutes(r.estimate.elapsed_ms),
-                StrPrintf("%d", r.layouts_evaluated)});
+                StrPrintf("%lld", r.layouts_evaluated)});
     };
     add("full DOT", DotOptimizer(base).Optimize());
     DotProblem literal = base;

@@ -54,7 +54,7 @@ int main() {
   }
 
   dot::Layout layout(&schema, &box, result.placement);
-  std::printf("\nDOT layout (relative SLA 0.5), %d layouts evaluated in"
+  std::printf("\nDOT layout (relative SLA 0.5), %lld layouts evaluated in"
               " %.1f ms:\n%s",
               result.layouts_evaluated, result.optimize_ms,
               layout.ToString().c_str());

@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
   }
 
   Layout layout(&schema, &box, r.placement);
-  std::printf("\nRecommended layout (%d candidates in %.1f ms):\n%s",
+  std::printf("\nRecommended layout (%lld candidates in %.1f ms):\n%s",
               r.layouts_evaluated, r.optimize_ms,
               layout.ToString().c_str());
   std::printf("\nlayout cost:  %.4f cents/hour\n",

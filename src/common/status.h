@@ -13,7 +13,7 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kCapacityExceeded,
-  kInfeasible,  ///< The optimizer could not find a constraint-satisfying layout.
+  kInfeasible,  ///< No constraint-satisfying layout exists (optimizer).
   kInternal,
 };
 

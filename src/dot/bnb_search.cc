@@ -1,0 +1,588 @@
+#include "dot/bnb_search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "dot/candidate_evaluator.h"
+#include "dot/eval_tables.h"
+#include "dot/layout.h"
+#include "dot/sla.h"
+#include "storage/pricing.h"
+
+namespace dot {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr long long kCountSaturated = std::numeric_limits<long long>::max();
+
+long long SaturatingMul(long long a, long long b) {
+  if (a != 0 && b > kCountSaturated / a) return kCountSaturated;
+  return a * b;
+}
+
+long long SaturatingAdd(long long a, long long b) {
+  if (a > kCountSaturated - b) return kCountSaturated;
+  return a + b;
+}
+
+/// M^N, saturating at LLONG_MAX instead of wrapping — the overflow-safe
+/// spelling of the layout-space size (3^40 and the like must produce a
+/// clean refusal from the enumeration guard, not undefined behaviour).
+long long PowSaturating(int m, int n) {
+  long long total = 1;
+  for (int i = 0; i < n; ++i) total = SaturatingMul(total, m);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ExactStrategy::kEnumerate — the paper's Exhaustive Search comparator.
+// ---------------------------------------------------------------------------
+
+DotResult EnumerateSearch(const DotProblem& problem, long long max_layouts,
+                          double start_ms) {
+  const int n = problem.schema->NumObjects();
+  const int m = problem.box->NumClasses();
+  const long long total = PowSaturating(m, n);
+
+  DotResult result;
+  if (total > max_layouts) {
+    // A guard trip is an expected outcome on large schemas, not a
+    // programmer error: report it as a Status so callers can fall back to
+    // branch-and-bound (or shrink the instance) instead of aborting.
+    result.status = Status::OutOfRange(
+        "exhaustive enumeration over " + std::to_string(m) + "^" +
+        std::to_string(n) + " = " +
+        (total == kCountSaturated ? std::string("> 9.2e18")
+                                  : std::to_string(total)) +
+        " layouts exceeds the guard (" + std::to_string(max_layouts) +
+        "); use ExactStrategy::kBranchAndBound or raise max_layouts");
+    result.optimize_ms = NowMs() - start_ms;
+    return result;
+  }
+
+  DotOptimizer estimator(problem);  // reuse estimateTOC / targets
+  result.targets = estimator.targets();
+
+  // Shard the mixed-radix layout space [0, M^N) across the pool; the
+  // reduction under (TOC, lexicographically lowest placement) is a total
+  // order, so the winner is the same at every thread count.
+  ThreadPool pool(problem.num_threads);
+  const CandidateEvaluator evaluator(estimator, &pool);
+  CandidateEvaluator::SpaceScan scan = evaluator.ScanLayoutSpace(0, total);
+
+  result.layouts_evaluated = scan.evaluated;
+  result.plan_cache_hits = evaluator.plan_cache_hits();
+  result.plan_cache_misses = evaluator.plan_cache_misses();
+  if (scan.feasible_found) {
+    result.placement = std::move(scan.best_placement);
+    result.toc_cents_per_task = scan.best.toc;
+    result.layout_cost_cents_per_hour = scan.best.cost_cents_per_hour;
+    result.estimate = std::move(scan.best.estimate);
+  } else {
+    result.status = Status::Infeasible(
+        "no layout satisfies the capacity and SLA constraints");
+  }
+  result.optimize_ms = NowMs() - start_ms;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ExactStrategy::kBranchAndBound
+// ---------------------------------------------------------------------------
+
+struct BnbStats {
+  long long expanded = 0;
+  long long pruned_bound = 0;
+  long long pruned_infeasible = 0;
+  long long layouts_pruned = 0;  ///< saturating: Σ leaf counts under prunes
+  long long leaves = 0;
+
+  void Add(const BnbStats& o) {
+    expanded += o.expanded;
+    pruned_bound += o.pruned_bound;
+    pruned_infeasible += o.pruned_infeasible;
+    layouts_pruned = SaturatingAdd(layouts_pruned, o.layouts_pruned);
+    leaves += o.leaves;
+  }
+};
+
+/// Winner of one subtree task under the BetterCandidate total order.
+struct SubtreeBest {
+  bool found = false;
+  double toc = std::numeric_limits<double>::infinity();
+  std::vector<int> placement;
+};
+
+/// Everything the subtree walkers share, read-only during the parallel
+/// phase. The assignment order, suffix tables, shard depth, and seed
+/// incumbent depend only on the problem — never on the thread count — which
+/// is what makes every counter and the task set deterministic.
+struct BnbShared {
+  const DotProblem* problem = nullptr;
+  const DotOptimizer* estimator = nullptr;
+  const FastEvaluator* fast = nullptr;  ///< null: full-path leaves, no bound
+  const FastScorer* scorer = nullptr;   ///< null: no performance bound
+  int n = 0;
+  int m = 0;
+  /// Assignment order: order[d] is the object assigned at depth d,
+  /// descending space/I-O weight (normalized cost spread + time spread).
+  std::vector<int> order;
+  std::vector<double> size_at_depth;    ///< size_gb of order[d]
+  std::vector<double> suffix_min_cost;  ///< [d] Σ_{i>=d} min marginal cost
+  std::vector<double> suffix_size;      ///< [d] Σ_{i>=d} size_gb
+  std::vector<double> capacity;         ///< per class, c_j
+  std::vector<long long> leaves_below;  ///< [d] = M^(N-d), saturating
+  double seed_incumbent = std::numeric_limits<double>::infinity();
+  int shard_depth = 0;  ///< tasks are the surviving depth-k prefixes
+};
+
+/// One depth-first subtree walker: per-depth space snapshots (pure
+/// functions of the assignment path, so backtracking cannot accumulate
+/// floating-point drift), a per-walker bound cursor, and best-first child
+/// ordering. Pruning compares admissible bounds through the kBoundSafety
+/// margin, so a subtree is cut only when no completion can beat the
+/// incumbent or be feasible; ties are never cut, which preserves the
+/// lexicographic tie-break bit for bit.
+class SubtreeWalker {
+ public:
+  /// With `task_sink` non-null the walker stops at shard_depth and emits
+  /// the surviving prefixes instead of descending (the top-k sharding
+  /// pass); with it null the walker searches the subtree exhaustively.
+  SubtreeWalker(const BnbShared& sh, std::vector<std::vector<int>>* task_sink)
+      : sh_(sh),
+        task_sink_(task_sink),
+        placement_(static_cast<size_t>(sh.n), 0),
+        used_(static_cast<size_t>(sh.n + 1) * static_cast<size_t>(sh.m),
+              0.0),
+        probes_(static_cast<size_t>(sh.n + 1) * static_cast<size_t>(sh.m)),
+        incumbent_(sh.seed_incumbent) {
+    if (sh_.scorer != nullptr) cursor_ = sh_.scorer->MakeBoundCursor();
+  }
+
+  /// Replays a shard prefix (classes of order[0..shard_depth)) — already
+  /// vetted by the sharding pass — and searches the subtree below it.
+  void RunSubtree(const std::vector<int>& prefix) {
+    Reset();
+    for (int d = 0; d < sh_.shard_depth; ++d) {
+      AssignLevel(d, prefix[static_cast<size_t>(d)]);
+    }
+    Dfs(sh_.shard_depth);
+  }
+
+  /// The sharding pass: walk (and prune) levels [0, shard_depth).
+  void RunPrefix() {
+    Reset();
+    Dfs(0);
+  }
+
+  const BnbStats& stats() const { return stats_; }
+  const SubtreeBest& best() const { return best_; }
+
+ private:
+  struct Probe {
+    double toc_lb = 0.0;
+    int cls = 0;
+  };
+
+  double* UsedRow(int depth) {
+    return used_.data() + static_cast<size_t>(depth) *
+                              static_cast<size_t>(sh_.m);
+  }
+
+  void Reset() {
+    std::fill(used_.begin(), used_.end(), 0.0);
+    if (cursor_ != nullptr) cursor_->Reset();
+  }
+
+  /// Commits class `cls` for the depth-d object: placement, the depth+1
+  /// space snapshot, and the bound cursor.
+  void AssignLevel(int depth, int cls) {
+    const int obj = sh_.order[static_cast<size_t>(depth)];
+    placement_[static_cast<size_t>(obj)] = cls;
+    const double* cur = UsedRow(depth);
+    double* next = UsedRow(depth + 1);
+    for (int j = 0; j < sh_.m; ++j) next[j] = cur[j];
+    next[cls] += sh_.size_at_depth[static_cast<size_t>(depth)];
+    if (cursor_ != nullptr) cursor_->Assign(obj, placement_);
+  }
+
+  void PruneInfeasible(int child_depth) {
+    stats_.pruned_infeasible += 1;
+    stats_.layouts_pruned = SaturatingAdd(
+        stats_.layouts_pruned,
+        sh_.leaves_below[static_cast<size_t>(child_depth)]);
+  }
+
+  void PruneBound(int child_depth) {
+    stats_.pruned_bound += 1;
+    stats_.layouts_pruned = SaturatingAdd(
+        stats_.layouts_pruned,
+        sh_.leaves_below[static_cast<size_t>(child_depth)]);
+  }
+
+  void ConsiderLeaf(double toc) {
+    if (!best_.found ||
+        BetterCandidate(toc, placement_, best_.toc, best_.placement)) {
+      best_.found = true;
+      best_.toc = toc;
+      best_.placement = placement_;
+    }
+    incumbent_ = std::min(incumbent_, toc);
+  }
+
+  /// Expands the node with `depth` objects assigned (depth < n).
+  void Dfs(int depth) {
+    if (task_sink_ != nullptr && depth == sh_.shard_depth) {
+      task_sink_->emplace_back(placement_prefix(depth));
+      return;
+    }
+    stats_.expanded += 1;
+
+    const int obj = sh_.order[static_cast<size_t>(depth)];
+    const double size = sh_.size_at_depth[static_cast<size_t>(depth)];
+    const bool child_is_leaf = depth + 1 == sh_.n;
+    const double* cur = UsedRow(depth);
+    double* next = UsedRow(depth + 1);  // scratch during probing
+    Probe* probes = probes_.data() + static_cast<size_t>(depth + 1) *
+                                         static_cast<size_t>(sh_.m);
+    int live = 0;
+
+    for (int cls = 0; cls < sh_.m; ++cls) {
+      // Space snapshot of the child.
+      for (int j = 0; j < sh_.m; ++j) next[j] = cur[j];
+      next[cls] += size;
+
+      // Assigned objects never move again, so a class already at or over
+      // its (strict) capacity dooms every completion. Deflated: the
+      // snapshot is an assignment-order sum while the exact fit rule sums
+      // in object order, and a few ULPs must not prune a fitting leaf.
+      if (next[cls] * (1 - kBoundSafety) >= sh_.capacity[static_cast<size_t>(
+                                                cls)]) {
+        PruneInfeasible(depth + 1);
+        continue;
+      }
+
+      if (child_is_leaf) {
+        // Leaf: exact evaluation through the same kernels the enumerating
+        // search uses — bit-identical toc, fit, and feasibility.
+        placement_[static_cast<size_t>(obj)] = cls;
+        CandidateEval eval;
+        if (cursor_ != nullptr) {
+          cursor_->Assign(obj, placement_);
+          eval = sh_.fast->EvaluateWithScore(placement_,
+                                             cursor_->Optimistic(placement_));
+          cursor_->Unassign(obj);
+        } else {
+          eval = CandidateEvaluator::EvaluateOneWith(
+              *sh_.estimator,
+              Layout(sh_.problem->schema, sh_.problem->box, placement_));
+        }
+        stats_.leaves += 1;
+        if (eval.feasible) ConsiderLeaf(eval.toc);
+        continue;
+      }
+
+      // The unassigned volume must fit in the remaining free space.
+      double free_gb = 0.0;
+      for (int j = 0; j < sh_.m; ++j) {
+        free_gb += std::max(0.0, sh_.capacity[static_cast<size_t>(j)] -
+                                     next[j]);
+      }
+      const double remaining =
+          sh_.suffix_size[static_cast<size_t>(depth + 1)];
+      if (remaining * (1 - kBoundSafety) >= free_gb * (1 + kBoundSafety)) {
+        PruneInfeasible(depth + 1);
+        continue;
+      }
+
+      // Optimistic workload completion: an upper bound on every
+      // completion's throughput, and a definite verdict when even the
+      // optimistic completion misses a target. Without a bound cursor
+      // there is no throughput bound, TOC = cost/throughput cannot be
+      // bounded either (cost alone bounds nothing), and the search
+      // degrades to capacity pruning — skip the cost kernel entirely.
+      double toc_lb = 0.0;
+      if (cursor_ != nullptr) {
+        placement_[static_cast<size_t>(obj)] = cls;
+        cursor_->Assign(obj, placement_);
+        const QuickPerf qp = cursor_->Optimistic(placement_);
+        cursor_->Unassign(obj);
+        if (!qp.sla_ok) {
+          PruneInfeasible(depth + 1);
+          continue;
+        }
+        if (qp.tasks_per_hour > 0) {
+          // Admissible TOC lower bound: assigned space priced exactly,
+          // every unassigned object at its guaranteed marginal minimum,
+          // divided by the optimistic throughput.
+          const double cost_lb = CompletionCostLowerBoundCentsPerHour(
+              *sh_.problem->box, next, sh_.m,
+              sh_.suffix_min_cost[static_cast<size_t>(depth + 1)],
+              sh_.problem->cost_model);
+          toc_lb = cost_lb / qp.tasks_per_hour;
+          if (toc_lb > incumbent_ * (1 + kBoundSafety)) {
+            PruneBound(depth + 1);
+            continue;
+          }
+        }
+      }
+      probes[live].toc_lb = toc_lb;
+      probes[live].cls = cls;
+      ++live;
+    }
+
+    if (child_is_leaf) return;
+
+    // Best-first child order: most promising bound first (class index
+    // breaks exact bound ties deterministically), so a near-optimal
+    // incumbent appears early and the later siblings get pruned by the
+    // re-check below.
+    std::sort(probes, probes + live, [](const Probe& a, const Probe& b) {
+      return a.toc_lb != b.toc_lb ? a.toc_lb < b.toc_lb : a.cls < b.cls;
+    });
+    for (int i = 0; i < live; ++i) {
+      if (probes[i].toc_lb > incumbent_ * (1 + kBoundSafety)) {
+        PruneBound(depth + 1);
+        continue;
+      }
+      AssignLevel(depth, probes[i].cls);
+      Dfs(depth + 1);
+      if (cursor_ != nullptr) cursor_->Unassign(obj);
+    }
+  }
+
+  std::vector<int> placement_prefix(int depth) const {
+    std::vector<int> prefix(static_cast<size_t>(depth));
+    for (int d = 0; d < depth; ++d) {
+      prefix[static_cast<size_t>(d)] =
+          placement_[static_cast<size_t>(sh_.order[static_cast<size_t>(d)])];
+    }
+    return prefix;
+  }
+
+  const BnbShared& sh_;
+  std::vector<std::vector<int>>* task_sink_;
+  std::vector<int> placement_;
+  std::vector<double> used_;   ///< (n+1) × m space snapshots
+  std::vector<Probe> probes_;  ///< (n+1) × m child-probe scratch
+  std::unique_ptr<FastScorer::BoundCursor> cursor_;
+  double incumbent_;
+  BnbStats stats_;
+  SubtreeBest best_;
+};
+
+DotResult BranchAndBoundSearch(const DotProblem& problem, double start_ms) {
+  const int n = problem.schema->NumObjects();
+  const int m = problem.box->NumClasses();
+  DOT_CHECK(n >= 1 && m >= 1);
+
+  DotResult result;
+  DotOptimizer estimator(problem);
+  result.targets = estimator.targets();
+
+  std::unique_ptr<FastEvaluator> fast;
+  if (problem.use_fast_eval) {
+    auto f = std::make_unique<FastEvaluator>(estimator);
+    if (f->enabled()) fast = std::move(f);
+  }
+
+  BnbShared sh;
+  sh.problem = &problem;
+  sh.estimator = &estimator;
+  sh.fast = fast.get();
+  sh.scorer = fast != nullptr ? fast->scorer() : nullptr;
+  sh.n = n;
+  sh.m = m;
+
+  sh.capacity.reserve(static_cast<size_t>(m));
+  double max_price = 0.0;
+  double min_price = std::numeric_limits<double>::infinity();
+  for (const StorageClass& sc : problem.box->classes) {
+    sh.capacity.push_back(sc.capacity_gb());
+    max_price = std::max(max_price, sc.price_cents_per_gb_hour());
+    min_price = std::min(min_price, sc.price_cents_per_gb_hour());
+  }
+
+  // Assignment order: descending space/I-O weight. An object's weight is
+  // its guaranteed cost spread (size × price spread) plus its workload-time
+  // spread across classes, each normalized to the largest in the schema —
+  // the objects whose placement moves the bound the most are decided first,
+  // so both prunes bite near the root. Any order is correct; this one is
+  // fast.
+  std::vector<double> cost_spread(static_cast<size_t>(n), 0.0);
+  std::vector<double> time_spread(static_cast<size_t>(n), 0.0);
+  double max_cost_spread = 0.0;
+  double max_time_spread = 0.0;
+  for (int o = 0; o < n; ++o) {
+    cost_spread[static_cast<size_t>(o)] =
+        problem.schema->object(o).size_gb * (max_price - min_price);
+    if (sh.scorer != nullptr) {
+      time_spread[static_cast<size_t>(o)] = sh.scorer->ObjectTimeSpreadMs(o);
+    }
+    max_cost_spread =
+        std::max(max_cost_spread, cost_spread[static_cast<size_t>(o)]);
+    max_time_spread =
+        std::max(max_time_spread, time_spread[static_cast<size_t>(o)]);
+  }
+  sh.order.resize(static_cast<size_t>(n));
+  for (int o = 0; o < n; ++o) sh.order[static_cast<size_t>(o)] = o;
+  std::vector<double> weight(static_cast<size_t>(n), 0.0);
+  for (int o = 0; o < n; ++o) {
+    double w = 0.0;
+    if (max_cost_spread > 0) {
+      w += cost_spread[static_cast<size_t>(o)] / max_cost_spread;
+    }
+    if (max_time_spread > 0) {
+      w += time_spread[static_cast<size_t>(o)] / max_time_spread;
+    }
+    weight[static_cast<size_t>(o)] = w;
+  }
+  std::sort(sh.order.begin(), sh.order.end(), [&](int a, int b) {
+    const double wa = weight[static_cast<size_t>(a)];
+    const double wb = weight[static_cast<size_t>(b)];
+    return wa != wb ? wa > wb : a < b;
+  });
+
+  sh.size_at_depth.resize(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    sh.size_at_depth[static_cast<size_t>(d)] =
+        problem.schema->object(sh.order[static_cast<size_t>(d)]).size_gb;
+  }
+  sh.suffix_min_cost.assign(static_cast<size_t>(n) + 1, 0.0);
+  sh.suffix_size.assign(static_cast<size_t>(n) + 1, 0.0);
+  for (int d = n - 1; d >= 0; --d) {
+    sh.suffix_min_cost[static_cast<size_t>(d)] =
+        sh.suffix_min_cost[static_cast<size_t>(d) + 1] +
+        MinObjectCostCentsPerHour(*problem.box,
+                                  sh.size_at_depth[static_cast<size_t>(d)],
+                                  problem.cost_model);
+    sh.suffix_size[static_cast<size_t>(d)] =
+        sh.suffix_size[static_cast<size_t>(d) + 1] +
+        sh.size_at_depth[static_cast<size_t>(d)];
+  }
+  sh.leaves_below.resize(static_cast<size_t>(n) + 1);
+  for (int d = 0; d <= n; ++d) {
+    sh.leaves_below[static_cast<size_t>(d)] = PowSaturating(m, n - d);
+  }
+
+  // Deterministic incumbent seeds, evaluated through the same path the
+  // leaves use: the M uniform layouts plus the DOT heuristic's answer when
+  // profiles are available (the paper's own argument that DOT lands within
+  // a few percent of the optimum makes it a near-perfect warm start). Only
+  // the TOC is kept — the winning *placement* is always rediscovered
+  // in-tree, because no subtree whose bound ties the incumbent is ever
+  // pruned.
+  double seed = std::numeric_limits<double>::infinity();
+  for (int cls = 0; cls < m; ++cls) {
+    const std::vector<int> uniform = UniformPlacement(n, cls);
+    const CandidateEval eval =
+        fast != nullptr
+            ? fast->EvaluateQuick(uniform)
+            : CandidateEvaluator::EvaluateOneWith(
+                  estimator, Layout(problem.schema, problem.box, uniform));
+    if (eval.feasible) seed = std::min(seed, eval.toc);
+  }
+  if (problem.profiles != nullptr) {
+    const DotResult dot = estimator.Optimize();
+    if (dot.status.ok()) seed = std::min(seed, dot.toc_cents_per_task);
+  }
+  sh.seed_incumbent = seed;
+
+  // Shard the top k levels into independent subtree tasks. k depends only
+  // on (M, N) — never on the thread count — so the task set, the reduction,
+  // and every counter are identical at any parallelism.
+  int shard_depth = 0;
+  while (shard_depth < n - 1 && PowSaturating(m, shard_depth) < 64) {
+    ++shard_depth;
+  }
+  sh.shard_depth = shard_depth;
+
+  std::vector<std::vector<int>> tasks;
+  SubtreeWalker prefix_walker(sh, &tasks);
+  prefix_walker.RunPrefix();
+
+  BnbStats stats = prefix_walker.stats();
+  SubtreeBest best;
+
+  ThreadPool pool(problem.num_threads);
+  std::vector<BnbStats> task_stats(tasks.size());
+  std::vector<SubtreeBest> task_best(tasks.size());
+  pool.ParallelFor(0, static_cast<int64_t>(tasks.size()), [&](int64_t i) {
+    SubtreeWalker walker(sh, nullptr);
+    walker.RunSubtree(tasks[static_cast<size_t>(i)]);
+    task_stats[static_cast<size_t>(i)] = walker.stats();
+    task_best[static_cast<size_t>(i)] = walker.best();
+  });
+
+  // Reduce under the BetterCandidate total order (any reduction order
+  // yields the same winner; see candidate_evaluator.h).
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    stats.Add(task_stats[static_cast<size_t>(i)]);
+    SubtreeBest& cand = task_best[static_cast<size_t>(i)];
+    if (!cand.found) continue;
+    if (!best.found || BetterCandidate(cand.toc, cand.placement, best.toc,
+                                       best.placement)) {
+      best = std::move(cand);
+    }
+  }
+
+  result.nodes_expanded = stats.expanded;
+  result.nodes_pruned_bound = stats.pruned_bound;
+  result.nodes_pruned_infeasible = stats.pruned_infeasible;
+  result.layouts_pruned = stats.layouts_pruned;
+  result.layouts_evaluated = stats.leaves;
+  if (fast != nullptr) {
+    result.plan_cache_hits = fast->plan_cache_hits();
+    result.plan_cache_misses = fast->plan_cache_misses();
+  }
+
+  if (best.found) {
+    // Re-score the winner through the full path (bit-identical toc/cost,
+    // now with the PerfEstimate filled) — exactly what the enumerating
+    // search does with its winner.
+    const CandidateEval eval = CandidateEvaluator::EvaluateOneWith(
+        estimator, Layout(problem.schema, problem.box, best.placement));
+    DOT_CHECK(eval.feasible) << "winner infeasible on full re-score";
+    result.placement = std::move(best.placement);
+    result.toc_cents_per_task = eval.toc;
+    result.layout_cost_cents_per_hour = eval.cost_cents_per_hour;
+    result.estimate = eval.estimate;
+  } else {
+    result.status = Status::Infeasible(
+        "no layout satisfies the capacity and SLA constraints");
+  }
+  result.optimize_ms = NowMs() - start_ms;
+  return result;
+}
+
+}  // namespace
+
+DotResult ExactSearch(const DotProblem& problem, ExactStrategy strategy,
+                      long long max_layouts) {
+  DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
+            problem.workload != nullptr);
+  const double start_ms = NowMs();
+  switch (strategy) {
+    case ExactStrategy::kEnumerate:
+      return EnumerateSearch(problem, max_layouts, start_ms);
+    case ExactStrategy::kBranchAndBound:
+      return BranchAndBoundSearch(problem, start_ms);
+  }
+  DOT_CHECK(false) << "unknown ExactStrategy";
+  return DotResult{};
+}
+
+}  // namespace dot

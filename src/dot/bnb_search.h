@@ -1,0 +1,42 @@
+#ifndef DOTPROV_DOT_BNB_SEARCH_H_
+#define DOTPROV_DOT_BNB_SEARCH_H_
+
+#include "dot/optimizer.h"
+#include "dot/problem.h"
+
+namespace dot {
+
+/// Which algorithm ExactSearch runs. Both return the true optimum of the
+/// §2.5 problem under the estimator — the same placement, TOC, and status,
+/// bit for bit — they differ only in how much of the M^N space they must
+/// touch to prove it.
+enum class ExactStrategy {
+  /// Score every layout (the paper's Exhaustive Search comparator,
+  /// §4.4.3/§4.5.3). Pays M^N evaluations; refuses spaces larger than
+  /// `max_layouts`.
+  kEnumerate,
+  /// Best-first branch-and-bound (DESIGN.md §5): assigns objects one at a
+  /// time in descending space/I-O weight, lower-bounds every partial
+  /// placement with an admissible completion-cost/device-time bound, and
+  /// discards a subtree as soon as its optimistic completion violates a
+  /// performance target, cannot fit the box, or cannot beat the incumbent.
+  /// Needs no layout guard — pruning statistics come back on DotResult
+  /// (nodes_expanded, nodes_pruned_bound, nodes_pruned_infeasible,
+  /// layouts_pruned).
+  kBranchAndBound,
+};
+
+/// Guard for ExactStrategy::kEnumerate: the run returns an OutOfRange
+/// status (it no longer aborts) when M^N exceeds this.
+inline constexpr long long kDefaultMaxEnumeratedLayouts = 50'000'000;
+
+/// The exact-search entry point. ExhaustiveSearch (dot/exhaustive.h) is a
+/// thin alias for the kEnumerate strategy; kBranchAndBound is the scalable
+/// choice — bit-identical results, tractable on full benchmark schemas.
+/// `max_layouts` applies to kEnumerate only.
+DotResult ExactSearch(const DotProblem& problem, ExactStrategy strategy,
+                      long long max_layouts = kDefaultMaxEnumeratedLayouts);
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_BNB_SEARCH_H_

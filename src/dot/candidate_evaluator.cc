@@ -40,6 +40,11 @@ CandidateEvaluator::CandidateEvaluator(const DotOptimizer& estimator,
 CandidateEvaluator::~CandidateEvaluator() = default;
 
 CandidateEval CandidateEvaluator::EvaluateOne(const Layout& layout) const {
+  return EvaluateOneWith(estimator_, layout);
+}
+
+CandidateEval CandidateEvaluator::EvaluateOneWith(
+    const DotOptimizer& estimator, const Layout& layout) {
   CandidateEval eval;
   const Layout::CapacityFit fit = layout.ComputeCapacityFit();
   eval.fits = fit.fits;
@@ -48,9 +53,9 @@ CandidateEval CandidateEvaluator::EvaluateOne(const Layout& layout) const {
     eval.toc = std::numeric_limits<double>::infinity();
     return eval;
   }
-  eval.toc = estimator_.EstimateToc(layout, &eval.estimate,
-                                    &eval.cost_cents_per_hour);
-  eval.feasible = MeetsTargets(eval.estimate, estimator_.targets());
+  eval.toc = estimator.EstimateToc(layout, &eval.estimate,
+                                   &eval.cost_cents_per_hour);
+  eval.feasible = MeetsTargets(eval.estimate, estimator.targets());
   if (!eval.feasible) eval.toc = std::numeric_limits<double>::infinity();
   return eval;
 }

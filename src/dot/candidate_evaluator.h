@@ -62,6 +62,14 @@ class CandidateEvaluator {
   /// through the quick variants.
   CandidateEval EvaluateOne(const Layout& layout) const;
 
+  /// The full-path evaluation rule as a free-standing kernel (EvaluateOne
+  /// delegates here). Exposed so the exact branch-and-bound search can
+  /// score leaves and re-score winners through the one implementation of
+  /// the rule without constructing an engine (and a second fast path) of
+  /// its own.
+  static CandidateEval EvaluateOneWith(const DotOptimizer& estimator,
+                                       const Layout& layout);
+
   /// Evaluates `candidates` concurrently; results align with the input.
   std::vector<CandidateEval> EvaluateBatch(
       const std::vector<Layout>& candidates) const;

@@ -18,6 +18,7 @@
 #include "catalog/tpcc_schema.h"
 #include "catalog/tpch_schema.h"
 #include "common/thread_pool.h"
+#include "dot/bnb_search.h"
 #include "dot/candidate_evaluator.h"
 #include "dot/eval_tables.h"
 #include "dot/exhaustive.h"

@@ -76,6 +76,13 @@ CandidateEval FastEvaluator::EvaluateQuick(
   return Finish(eval, scorer_->Score(placement));
 }
 
+CandidateEval FastEvaluator::EvaluateWithScore(
+    const std::vector<int>& placement, const QuickPerf& qp) const {
+  CandidateEval eval;
+  if (!FitAndCost(placement, &eval)) return eval;
+  return Finish(eval, qp);
+}
+
 FastEvaluator::Cursor::Cursor(
     const FastEvaluator* owner,
     std::unique_ptr<FastScorer::Cursor> scorer_cursor)

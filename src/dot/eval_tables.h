@@ -42,6 +42,18 @@ class FastEvaluator {
   /// (CandidateEval::estimate stays empty). Thread-safe.
   CandidateEval EvaluateQuick(const std::vector<int>& placement) const;
 
+  /// Branch-and-bound leaf path: the same fit/cost kernels as
+  /// EvaluateQuick, but the workload score is supplied by the caller (the
+  /// bound cursor's Optimistic(), which is exact at a fully assigned
+  /// placement). Bit-identical to EvaluateQuick whenever `qp` equals what
+  /// the scorer would produce. Thread-safe.
+  CandidateEval EvaluateWithScore(const std::vector<int>& placement,
+                                  const QuickPerf& qp) const;
+
+  /// The underlying workload scorer (never null while enabled()); the
+  /// exact search builds its per-subtree BoundCursors from it.
+  const FastScorer* scorer() const { return scorer_.get(); }
+
   /// Single-threaded incremental walker for odometer scans: Touch() the
   /// changed objects, then Eval(). One per shard.
   class Cursor {

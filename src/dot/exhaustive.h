@@ -1,6 +1,7 @@
 #ifndef DOTPROV_DOT_EXHAUSTIVE_H_
 #define DOTPROV_DOT_EXHAUSTIVE_H_
 
+#include "dot/bnb_search.h"
 #include "dot/optimizer.h"
 #include "dot/problem.h"
 
@@ -10,12 +11,18 @@ namespace dot {
 /// layouts and evaluates each with the same TOC and performance estimation
 /// as DOT, returning the feasible layout of minimum TOC (the true optimum
 /// of the §2.5 problem under the estimator). Exponential — only usable on
-/// small object sets, which is exactly the paper's point.
+/// small object sets, which is exactly the paper's point; for exact optima
+/// on full schemas use ExactSearch(problem, ExactStrategy::kBranchAndBound)
+/// (dot/bnb_search.h), which returns bit-identical results.
 ///
-/// `max_layouts` guards against accidental explosion; the run aborts if
-/// M^N exceeds it.
-DotResult ExhaustiveSearch(const DotProblem& problem,
-                           long long max_layouts = 50'000'000);
+/// This is a thin alias for ExactSearch(problem, ExactStrategy::kEnumerate,
+/// max_layouts). When M^N exceeds `max_layouts` the run returns an
+/// OutOfRange status (the M^N computation itself is overflow-safe).
+inline DotResult ExhaustiveSearch(const DotProblem& problem,
+                                  long long max_layouts =
+                                      kDefaultMaxEnumeratedLayouts) {
+  return ExactSearch(problem, ExactStrategy::kEnumerate, max_layouts);
+}
 
 }  // namespace dot
 

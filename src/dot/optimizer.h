@@ -32,8 +32,21 @@ struct DotResult {
   /// The targets the run enforced (includes the best-case baseline).
   PerfTargets targets;
 
-  /// Number of candidate layouts evaluated (|Δ|+1 for DOT, M^N for ES).
-  int layouts_evaluated = 0;
+  /// Number of candidate layouts evaluated (|Δ|+1 for DOT, M^N for the
+  /// enumerating exact search, the surviving leaves for branch-and-bound).
+  long long layouts_evaluated = 0;
+
+  /// Branch-and-bound search statistics (all 0 for the other strategies).
+  /// A node is one partial assignment the search visited: it is either
+  /// expanded (its children were generated), pruned, or — at full depth —
+  /// an evaluated leaf (counted in layouts_evaluated). `layouts_pruned` is
+  /// the number of complete layouts under the pruned subtrees, so
+  /// layouts_evaluated + layouts_pruned == M^N always holds (saturating at
+  /// LLONG_MAX for spaces too large to count).
+  long long nodes_expanded = 0;
+  long long nodes_pruned_bound = 0;       ///< TOC bound ≥ incumbent
+  long long nodes_pruned_infeasible = 0;  ///< capacity/SLA cannot be met
+  long long layouts_pruned = 0;
 
   /// DSS plan-cache traffic of the run's fast evaluation path (both 0 for
   /// OLTP models, which have no plan cache, and when the fast path is

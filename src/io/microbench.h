@@ -27,7 +27,8 @@ struct MicrobenchConfig {
 /// Effective per-request times recovered by the benchmark, directly
 /// comparable to one column of Table 1.
 struct MeasuredIoProfile {
-  IoVector per_request_ms;  ///< measured τ for SR/RR (per I/O), SW/RW (per row)
+  /// Measured τ for SR/RR (per I/O) and SW/RW (per row).
+  IoVector per_request_ms;
 };
 
 /// Runs the §3.5.1 calibration workload against `device` and recovers its

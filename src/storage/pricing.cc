@@ -1,5 +1,6 @@
 #include "storage/pricing.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -92,6 +93,28 @@ double LayoutCostCentsPerHour(const BoxConfig& box, const double* used_gb,
              ? DiscreteLayoutCostCentsPerHour(box, used_gb, num_classes,
                                               spec.alpha)
              : LinearLayoutCostCentsPerHour(box, used_gb, num_classes);
+}
+
+double MinObjectCostCentsPerHour(const BoxConfig& box, double size_gb,
+                                 const CostModelSpec& spec) {
+  DOT_CHECK(size_gb >= 0);
+  DOT_CHECK(box.NumClasses() >= 1);
+  double min_price = box.classes[0].price_cents_per_gb_hour();
+  for (const StorageClass& sc : box.classes) {
+    min_price = std::min(min_price, sc.price_cents_per_gb_hour());
+  }
+  const double linear_share = spec.discrete ? 1.0 - spec.alpha : 1.0;
+  return linear_share * min_price * size_gb;
+}
+
+double CompletionCostLowerBoundCentsPerHour(const BoxConfig& box,
+                                            const double* used_gb,
+                                            int num_classes,
+                                            double remaining_min_cost_cents,
+                                            const CostModelSpec& spec) {
+  DOT_CHECK(remaining_min_cost_cents >= 0);
+  return LayoutCostCentsPerHour(box, used_gb, num_classes, spec) +
+         remaining_min_cost_cents;
 }
 
 double WorkloadTocCents(double layout_cost_cents_per_hour,

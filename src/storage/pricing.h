@@ -51,6 +51,28 @@ double DiscreteLayoutCostCentsPerHour(const BoxConfig& box,
 /// workload execution time, yielding cents per workload execution.
 double WorkloadTocCents(double layout_cost_cents_per_hour, double elapsed_ms);
 
+struct CostModelSpec;
+
+/// Guaranteed marginal cost of placing one `size_gb` object on *any* class:
+/// min_j p_j·s for the linear model, (1-α)·min_j p_j·s for the discrete one
+/// (its step component can be absorbed entirely by space already charged,
+/// so only the linear blend is guaranteed). The per-object floor of the
+/// branch-and-bound search's completion-cost bound (DESIGN.md §5).
+double MinObjectCostCentsPerHour(const BoxConfig& box, double size_gb,
+                                 const CostModelSpec& spec);
+
+/// Admissible completion-cost lower bound of a partial placement: the span
+/// cost of the space assigned so far plus `remaining_min_cost_cents`, the
+/// pre-summed MinObjectCostCentsPerHour of the unassigned objects. Both
+/// cost models are monotone in per-class space, so every completion of the
+/// partial placement costs at least this much (in real arithmetic — the
+/// caller compares through a kBoundSafety margin).
+double CompletionCostLowerBoundCentsPerHour(const BoxConfig& box,
+                                            const double* used_gb,
+                                            int num_classes,
+                                            double remaining_min_cost_cents,
+                                            const CostModelSpec& spec);
+
 /// Which layout-cost model a DOT run charges: the paper's default linear
 /// model (§2.1) or the discrete-sized extension (§5.2) with its α blend.
 struct CostModelSpec {

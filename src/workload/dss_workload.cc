@@ -1,5 +1,7 @@
 #include "workload/dss_workload.h"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <limits>
 #include <memory>
@@ -49,7 +51,11 @@ class DssFastScorer : public FastScorer {
     // Templates the sequence never runs are never planned (the full path
     // skips them too): empty footprint, no cache, time pinned to 0.
     used_.assign(templates.size(), false);
-    for (int idx : sequence) used_[static_cast<size_t>(idx)] = true;
+    seq_count_.assign(templates.size(), 0);
+    for (int idx : sequence) {
+      used_[static_cast<size_t>(idx)] = true;
+      seq_count_[static_cast<size_t>(idx)] += 1;
+    }
 
     const int num_objects = model_->schema().NumObjects();
     templates_by_object_.assign(static_cast<size_t>(num_objects), {});
@@ -63,6 +69,90 @@ class DssFastScorer : public FastScorer {
             static_cast<int>(t));
       }
     }
+
+    floors_.assign(templates.size(), 0.0);
+    cond_floors_.resize(templates.size());
+  }
+
+  /// Branch-and-bound floors, built on first demand (MakeBoundCursor /
+  /// ObjectTimeSpreadMs) so plain DOT runs — which construct this scorer
+  /// on every optimization — never pay the ~|templates|·|footprint|·M
+  /// extra PlanQuery calls. call_once makes the first demand safe from
+  /// concurrent subtree tasks.
+  ///
+  /// Each template is planned against a synthetic box that appends one
+  /// extra storage class whose latency anchors are the pointwise minimum
+  /// over the real classes. The planner picks the cheapest access path /
+  /// join method per step against those optimistic devices, so the
+  /// resulting time lower-bounds the template's time under *every* real
+  /// placement (each candidate's device time only grows on a real device,
+  /// and the per-step minimum is taken over the same candidate set). Two
+  /// granularities:
+  ///
+  ///   * floors_[t]: every footprint object optimistic — the
+  ///     unconditional floor;
+  ///   * cond_floors_[t][i·M + c]: footprint object i pinned to its real
+  ///     class c, the rest optimistic — a floor over every completion
+  ///     that places that object there. The bound cursor keeps, per
+  ///     incomplete template, the max of the conditionals of its assigned
+  ///     objects (a max of admissible lower bounds is itself admissible),
+  ///     which lets a response-time cap kill a subtree the moment one hot
+  ///     object lands on a slow device.
+  ///
+  /// All floors are deflated by kBoundSafety because the chosen plan tree
+  /// — and therefore the summation order — can differ from the real
+  /// placement's.
+  ///
+  /// With a non-empty io_scale the reported time is the *scaled* time of
+  /// the plan chosen on *unscaled* costs, which the synthetic-box argmin
+  /// does not bound; the floors stay at 0 (still admissible, just loose).
+  void EnsureFloors() const {
+    std::call_once(floors_once_, [this] {
+      if (!io_scale_.empty()) return;
+      const auto& templates = model_->templates();
+      const int num_objects = model_->schema().NumObjects();
+      const int num_classes = box_->NumClasses();
+      std::array<LatencyAnchors, kNumIoTypes> min_anchors{};
+      for (int i = 0; i < kNumIoTypes; ++i) {
+        const IoType type = static_cast<IoType>(i);
+        LatencyAnchors a = box_->classes[0].device().anchors(type);
+        for (const StorageClass& sc : box_->classes) {
+          const LatencyAnchors& b = sc.device().anchors(type);
+          a.at_c1_ms = std::min(a.at_c1_ms, b.at_c1_ms);
+          a.at_c300_ms = std::min(a.at_c300_ms, b.at_c300_ms);
+        }
+        min_anchors[static_cast<size_t>(i)] = a;
+      }
+      BoxConfig bound_box;
+      bound_box.name = "bnb-optimistic";
+      bound_box.classes = box_->classes;
+      // Capacity and price are irrelevant to planning (only the latency
+      // anchors are read); 1.0 satisfies the positivity invariants.
+      bound_box.classes.push_back(StorageClass(
+          "bnb-optimistic", DeviceModel("bnb-optimistic", min_anchors),
+          /*capacity_gb=*/1.0, /*price_cents_per_gb_hour=*/1.0));
+      const Planner bound_planner(&model_->schema(), &bound_box,
+                                  model_->planner().config());
+      std::vector<int> probe(static_cast<size_t>(num_objects), num_classes);
+      for (size_t t = 0; t < templates.size(); ++t) {
+        if (!used_[t]) continue;
+        floors_[t] = bound_planner.PlanQuery(templates[t], probe).time_ms *
+                     (1 - kBoundSafety);
+        const std::vector<int>& fp = footprints_[t];
+        cond_floors_[t].assign(
+            fp.size() * static_cast<size_t>(num_classes), 0.0);
+        for (size_t i = 0; i < fp.size(); ++i) {
+          for (int c = 0; c < num_classes; ++c) {
+            probe[static_cast<size_t>(fp[i])] = c;
+            cond_floors_[t][i * static_cast<size_t>(num_classes) +
+                            static_cast<size_t>(c)] =
+                bound_planner.PlanQuery(templates[t], probe).time_ms *
+                (1 - kBoundSafety);
+          }
+          probe[static_cast<size_t>(fp[i])] = num_classes;
+        }
+      }
+    });
   }
 
   QuickPerf Score(const std::vector<int>& placement) const override {
@@ -78,6 +168,40 @@ class DssFastScorer : public FastScorer {
 
   std::unique_ptr<FastScorer::Cursor> MakeCursor() const override {
     return std::make_unique<Cursor>(this);
+  }
+
+  std::unique_ptr<FastScorer::BoundCursor> MakeBoundCursor() const override {
+    EnsureFloors();
+    return std::make_unique<BoundCursor>(this);
+  }
+
+  double ObjectTimeSpreadMs(int object) const override {
+    EnsureFloors();
+    // How much this object's placement can move the guaranteed elapsed
+    // time: the spread of its conditional floors across classes, weighted
+    // by each template's run-sequence multiplicity. Ordering hint only.
+    double spread = 0.0;
+    const int m = box_->NumClasses();
+    for (int t : templates_by_object_[static_cast<size_t>(object)]) {
+      const std::vector<double>& cond =
+          cond_floors_[static_cast<size_t>(t)];
+      if (cond.empty()) continue;
+      const std::vector<int>& fp = footprints_[static_cast<size_t>(t)];
+      for (size_t i = 0; i < fp.size(); ++i) {
+        if (fp[i] != object) continue;
+        double lo = cond[i * static_cast<size_t>(m)];
+        double hi = lo;
+        for (int c = 1; c < m; ++c) {
+          const double v =
+              cond[i * static_cast<size_t>(m) + static_cast<size_t>(c)];
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        spread += seq_count_[static_cast<size_t>(t)] * (hi - lo);
+        break;
+      }
+    }
+    return spread;
   }
 
   long long cache_hits() const override {
@@ -118,6 +242,102 @@ class DssFastScorer : public FastScorer {
    private:
     const DssFastScorer* scorer_;
     std::vector<double> times_;
+    std::string sig_;
+  };
+
+  /// Partial-placement walker for the branch-and-bound search: a template
+  /// contributes the tightest applicable floor — the max of the
+  /// conditional floors of its already-assigned objects — until every
+  /// footprint object is assigned, then its exact (cached) time. At a leaf
+  /// every template is exact and Optimistic() is ScoreFromTimes over
+  /// exactly the values Score would compute — bit-identical by
+  /// construction.
+  class BoundCursor : public FastScorer::BoundCursor {
+   public:
+    explicit BoundCursor(const DssFastScorer* scorer) : scorer_(scorer) {
+      Reset();
+    }
+
+    void Reset() override {
+      times_ = scorer_->floors_;
+      unassigned_.resize(scorer_->footprints_.size());
+      for (size_t t = 0; t < unassigned_.size(); ++t) {
+        unassigned_[t] = static_cast<int>(scorer_->footprints_[t].size());
+      }
+      cls_.assign(scorer_->templates_by_object_.size(), -1);
+    }
+
+    void Assign(int object_id, const std::vector<int>& placement) override {
+      const int c = placement[static_cast<size_t>(object_id)];
+      cls_[static_cast<size_t>(object_id)] = c;
+      for (int t :
+           scorer_->templates_by_object_[static_cast<size_t>(object_id)]) {
+        if (--unassigned_[static_cast<size_t>(t)] == 0) {
+          times_[static_cast<size_t>(t)] =
+              scorer_->TemplateTime(t, placement, sig_);
+        } else {
+          // Still incomplete: raise the floor with this object's
+          // conditional (a running max is exact on the LIFO path because
+          // Unassign recomputes from scratch).
+          times_[static_cast<size_t>(t)] =
+              std::max(times_[static_cast<size_t>(t)],
+                       CondFloor(t, object_id, c));
+        }
+      }
+    }
+
+    void Unassign(int object_id) override {
+      cls_[static_cast<size_t>(object_id)] = -1;
+      for (int t :
+           scorer_->templates_by_object_[static_cast<size_t>(object_id)]) {
+        unassigned_[static_cast<size_t>(t)] += 1;
+        times_[static_cast<size_t>(t)] = IncompleteFloor(t);
+      }
+    }
+
+    QuickPerf Optimistic(const std::vector<int>& placement) const override {
+      (void)placement;  // the per-template times already reflect it
+      return scorer_->ScoreFromTimes(times_.data());
+    }
+
+   private:
+    double CondFloor(int t, int object_id, int c) const {
+      const std::vector<double>& cond =
+          scorer_->cond_floors_[static_cast<size_t>(t)];
+      if (cond.empty()) return 0.0;  // io_scale: floors disabled
+      const std::vector<int>& fp =
+          scorer_->footprints_[static_cast<size_t>(t)];
+      const int m = scorer_->box_->NumClasses();
+      for (size_t i = 0; i < fp.size(); ++i) {
+        if (fp[i] == object_id) {
+          return cond[i * static_cast<size_t>(m) + static_cast<size_t>(c)];
+        }
+      }
+      return 0.0;
+    }
+
+    double IncompleteFloor(int t) const {
+      double lb = scorer_->floors_[static_cast<size_t>(t)];
+      const std::vector<double>& cond =
+          scorer_->cond_floors_[static_cast<size_t>(t)];
+      if (cond.empty()) return lb;
+      const std::vector<int>& fp =
+          scorer_->footprints_[static_cast<size_t>(t)];
+      const int m = scorer_->box_->NumClasses();
+      for (size_t i = 0; i < fp.size(); ++i) {
+        const int c = cls_[static_cast<size_t>(fp[i])];
+        if (c >= 0) {
+          lb = std::max(
+              lb, cond[i * static_cast<size_t>(m) + static_cast<size_t>(c)]);
+        }
+      }
+      return lb;
+    }
+
+    const DssFastScorer* scorer_;
+    std::vector<double> times_;
+    std::vector<int> unassigned_;
+    std::vector<int> cls_;  ///< assigned class per object, -1 = unassigned
     std::string sig_;
   };
 
@@ -196,9 +416,18 @@ class DssFastScorer : public FastScorer {
   const BoxConfig* box_;
   std::vector<double> io_scale_;
   std::vector<bool> used_;               ///< template appears in sequence
+  std::vector<int> seq_count_;           ///< occurrences in the sequence
   std::vector<double> thresholds_;       ///< per template, +inf if unused
   std::vector<std::vector<int>> footprints_;  ///< empty if unused
   std::vector<std::vector<int>> templates_by_object_;
+  /// Lazily built by EnsureFloors (mutable + once_flag: construction cost
+  /// is confined to runs that actually branch-and-bound).
+  mutable std::once_flag floors_once_;
+  mutable std::vector<double> floors_;  ///< deflated per-template bounds
+  /// Deflated conditional floors, [t][footprint_pos · M + class]; empty
+  /// per template when floors are disabled (io_scale) or the template is
+  /// unused.
+  mutable std::vector<std::vector<double>> cond_floors_;
   std::vector<std::unique_ptr<TemplateCache>> caches_;
   mutable std::atomic<long long> hits_{0};
   mutable std::atomic<long long> misses_{0};

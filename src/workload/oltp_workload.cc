@@ -1,5 +1,6 @@
 #include "workload/oltp_workload.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -20,10 +21,13 @@ class OltpFastScorer : public FastScorer {
                  const std::vector<double>& io_scale, double min_tpmc,
                  double sla_tolerance)
       : model_(model),
+        num_objects_(static_cast<int>(
+            model->txn_types().front().io.size())),
+        num_classes_(box->NumClasses()),
         measurement_period_ms_(measurement_period_ms),
         // Exactly the comparison MeetsTargets makes for throughput SLAs.
         tpmc_floor_(min_tpmc * (1 - sla_tolerance)) {
-    const int num_classes = box->NumClasses();
+    const int num_classes = num_classes_;
     for (const TxnType& t : model->txn_types()) {
       TxnTable table;
       table.weight = t.weight;
@@ -46,6 +50,34 @@ class OltpFastScorer : public FastScorer {
         table.rows.push_back(std::move(row));
       }
       tables_.push_back(std::move(table));
+    }
+
+    // Branch-and-bound tables. base_mean_latency_ms_ is the mix-weighted
+    // mean latency with *every* object on its per-row fastest class — the
+    // unconstrained minimum; excess_[o][c] is the guaranteed increase from
+    // committing object o to class c. Their sum over an assignment lower-
+    // bounds the mean latency of every completion (the unassigned objects
+    // contribute at least their row minima).
+    excess_.assign(
+        static_cast<size_t>(num_objects_) * static_cast<size_t>(num_classes),
+        0.0);
+    base_mean_latency_ms_ = 0.0;
+    for (const TxnTable& t : tables_) {
+      double min_io_ms = 0.0;
+      for (const Row& row : t.rows) {
+        double row_min = row.time_by_class[0];
+        for (double v : row.time_by_class) row_min = std::min(row_min, v);
+        min_io_ms += row_min;
+        for (int c = 0; c < num_classes; ++c) {
+          excess_[static_cast<size_t>(row.object) *
+                      static_cast<size_t>(num_classes) +
+                  static_cast<size_t>(c)] +=
+              t.weight *
+              (row.time_by_class[static_cast<size_t>(c)] - row_min);
+        }
+      }
+      base_mean_latency_ms_ += t.weight * (min_io_ms + t.cpu_ms +
+                                           t.overhead_ms);
     }
   }
 
@@ -72,6 +104,81 @@ class OltpFastScorer : public FastScorer {
     return qp;
   }
 
+  /// Partial-placement bound: a snapshot stack of mean-latency lower
+  /// bounds, one entry per assignment depth. Snapshots (rather than a
+  /// running +=/-= accumulator) keep each value a pure function of the
+  /// assignment path, so backtracking cannot accumulate floating-point
+  /// drift.
+  class BoundCursor : public FastScorer::BoundCursor {
+   public:
+    explicit BoundCursor(const OltpFastScorer* scorer)
+        : scorer_(scorer),
+          lb_stack_(static_cast<size_t>(scorer->num_objects_) + 1, 0.0) {
+      Reset();
+    }
+
+    void Reset() override {
+      depth_ = 0;
+      lb_stack_[0] = scorer_->base_mean_latency_ms_;
+    }
+
+    void Assign(int object_id, const std::vector<int>& placement) override {
+      const size_t idx =
+          static_cast<size_t>(object_id) *
+              static_cast<size_t>(scorer_->num_classes_) +
+          static_cast<size_t>(placement[static_cast<size_t>(object_id)]);
+      lb_stack_[static_cast<size_t>(depth_) + 1] =
+          lb_stack_[static_cast<size_t>(depth_)] + scorer_->excess_[idx];
+      ++depth_;
+    }
+
+    void Unassign(int object_id) override {
+      (void)object_id;  // LIFO: only the depth matters
+      --depth_;
+    }
+
+    QuickPerf Optimistic(const std::vector<int>& placement) const override {
+      if (depth_ == scorer_->num_objects_) {
+        // Leaf: the exact kernel, bit-identical to Score.
+        return scorer_->Score(placement);
+      }
+      // Interior node: deflate the latency lower bound so rounding drift
+      // can never push the derived tpmC upper bound below a completion's
+      // true value (see kBoundSafety).
+      const double lb_ms =
+          lb_stack_[static_cast<size_t>(depth_)] * (1 - kBoundSafety);
+      const OltpWorkloadModel::Throughput tp =
+          scorer_->model_->ThroughputFromMeanLatency(lb_ms);
+      QuickPerf qp;
+      qp.elapsed_ms = scorer_->measurement_period_ms_;
+      qp.tpmc = tp.tpmc;
+      qp.tasks_per_hour = tp.tasks_per_hour;
+      qp.sla_ok = qp.tpmc >= scorer_->tpmc_floor_;
+      return qp;
+    }
+
+   private:
+    const OltpFastScorer* scorer_;
+    std::vector<double> lb_stack_;
+    int depth_ = 0;
+  };
+
+  std::unique_ptr<FastScorer::BoundCursor> MakeBoundCursor() const override {
+    return std::make_unique<BoundCursor>(this);
+  }
+
+  double ObjectTimeSpreadMs(int object) const override {
+    const size_t base = static_cast<size_t>(object) *
+                        static_cast<size_t>(num_classes_);
+    double lo = excess_[base];
+    double hi = excess_[base];
+    for (int c = 1; c < num_classes_; ++c) {
+      lo = std::min(lo, excess_[base + static_cast<size_t>(c)]);
+      hi = std::max(hi, excess_[base + static_cast<size_t>(c)]);
+    }
+    return hi - lo;
+  }
+
  private:
   struct Row {
     int object = -1;
@@ -85,9 +192,16 @@ class OltpFastScorer : public FastScorer {
   };
 
   const OltpWorkloadModel* model_;
+  int num_objects_;
+  int num_classes_;
   double measurement_period_ms_;
   double tpmc_floor_;
   std::vector<TxnTable> tables_;
+  /// Branch-and-bound tables (see ctor): mean latency with all objects on
+  /// their per-row fastest class, and the guaranteed mean-latency increase
+  /// of committing object o to class c.
+  double base_mean_latency_ms_ = 0.0;
+  std::vector<double> excess_;  ///< [object * num_classes + class]
 };
 
 }  // namespace

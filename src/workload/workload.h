@@ -56,6 +56,16 @@ struct QuickPerf {
   bool sla_ok = false;
 };
 
+/// Relative safety margin every admissible bound is deflated by before it
+/// is compared against anything exact (see DESIGN.md §5). The bounds the
+/// branch-and-bound search consumes are admissible in real arithmetic; the
+/// deflation absorbs the few-ULP floating-point drift between a bound's
+/// summation order and the exact evaluation's, so a bound can never
+/// spuriously exceed the true value and prune the optimum. 1e-9 is ~6
+/// orders of magnitude above accumulated rounding error on these problem
+/// sizes and ~3 below any TOC difference the search cares about.
+inline constexpr double kBoundSafety = 1e-9;
+
 /// Allocation-free candidate scorer a workload model can offer the search
 /// engine. Built once per optimization run (per-object device-time tables
 /// for OLTP, a placement-signature plan cache for DSS) and then queried for
@@ -96,6 +106,56 @@ class FastScorer {
   /// re-scores from scratch (correct for models whose Score is already a
   /// flat table-lookup sum, e.g. OLTP).
   virtual std::unique_ptr<Cursor> MakeCursor() const;
+
+  /// Partial-placement walker for the exact branch-and-bound search
+  /// (dot/bnb_search.h): the search assigns objects one at a time and asks
+  /// for an *optimistic completion score* at every node. The contract, in
+  /// decreasing order of importance:
+  ///
+  ///   1. Admissible: Optimistic().tasks_per_hour is an upper bound on
+  ///      Score(p').tasks_per_hour over every full placement p' extending
+  ///      the current partial assignment (0 stands for "unbounded"), and
+  ///      Optimistic().sla_ok is false only when *no* extension can meet
+  ///      the caps. Implementations deflate floating-point-noisy terms by
+  ///      kBoundSafety so admissibility survives rounding.
+  ///   2. Exact at the leaves: with every object assigned, Optimistic()
+  ///      must be bit-identical to Score(placement) — the search evaluates
+  ///      leaves through this path and its results must match the
+  ///      enumerating search bit for bit.
+  ///
+  /// Assign/Unassign follow the search's LIFO discipline. A BoundCursor is
+  /// single-threaded state; each subtree task creates its own.
+  class BoundCursor {
+   public:
+    virtual ~BoundCursor() = default;
+    /// Clears to "no object assigned".
+    virtual void Reset() = 0;
+    /// `placement[object_id]` already holds the newly assigned class.
+    virtual void Assign(int object_id, const std::vector<int>& placement) = 0;
+    /// Backtracks the most recent Assign of `object_id`.
+    virtual void Unassign(int object_id) = 0;
+    /// The optimistic completion score (see contract above). `placement`
+    /// entries of unassigned objects are not read.
+    virtual QuickPerf Optimistic(const std::vector<int>& placement) const = 0;
+  };
+
+  /// Returns a fresh bound cursor, or nullptr when the model offers no
+  /// admissible bound. Without one the search cannot bound TOC at all
+  /// (cost alone bounds nothing without a throughput bound) and degrades
+  /// to capacity-only pruning with full evaluations at the leaves —
+  /// still exact, close to enumeration cost.
+  virtual std::unique_ptr<BoundCursor> MakeBoundCursor() const {
+    return nullptr;
+  }
+
+  /// Spread of object `object`'s guaranteed workload-time contribution
+  /// across storage classes, in ms (0 when unknown). A variable-ordering
+  /// hint for the branch-and-bound search — objects whose placement moves
+  /// the workload time the most are assigned first — never a bound.
+  virtual double ObjectTimeSpreadMs(int object) const {
+    (void)object;
+    return 0.0;
+  }
 
   /// Plan-cache traffic (0/0 for models without a plan cache).
   virtual long long cache_hits() const { return 0; }

@@ -88,9 +88,32 @@ TEST_F(ExhaustiveTest, InfeasibleWhenNothingFits) {
   EXPECT_EQ(r.status.code(), StatusCode::kInfeasible);
 }
 
-TEST_F(ExhaustiveTest, GuardRejectsExplosiveInstances) {
-  EXPECT_DEATH((void)ExhaustiveSearch(problem_, /*max_layouts=*/10),
-               "exceeds the guard");
+TEST_F(ExhaustiveTest, GuardRejectsExplosiveInstancesWithAStatus) {
+  // The overflow path is an expected outcome, not a programmer error: the
+  // run must come back with an OutOfRange status and an empty result, not
+  // abort the process.
+  DotResult r = ExhaustiveSearch(problem_, /*max_layouts=*/10);
+  EXPECT_EQ(r.status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status.message().find("exceeds the guard"), std::string::npos)
+      << r.status.ToString();
+  EXPECT_TRUE(r.placement.empty());
+  EXPECT_EQ(r.layouts_evaluated, 0);
+}
+
+TEST_F(ExhaustiveTest, GuardSurvivesOverflowingLayoutCounts) {
+  // 3^80 overflows long long; the M^N computation must saturate instead of
+  // wrapping (a wrapped value could slip under the guard and start a
+  // never-ending enumeration).
+  Schema big;
+  for (int i = 0; i < 80; ++i) {
+    big.AddTable("t" + std::to_string(i), 1000.0, 100.0);
+  }
+  DotProblem p = problem_;
+  p.schema = &big;
+  DotResult r = ExhaustiveSearch(p);
+  EXPECT_EQ(r.status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status.message().find("3^80"), std::string::npos)
+      << r.status.ToString();
 }
 
 }  // namespace
