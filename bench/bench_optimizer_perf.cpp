@@ -198,6 +198,74 @@ void BM_BnbTpccFull(benchmark::State& state) {
 }
 BENCHMARK(BM_BnbTpccFull)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Exact search over the HTAP composition (CH-benCH analytics + the TPC-C
+// mix on the shared hot-object subset): the summed two-side bound drives
+// the pruning, and the per-leaf cost now includes both sides' kernels —
+// the figure of merit for the composite scorer.
+void BM_HtapBnbExactSearch(benchmark::State& state) {
+  Schema full = MakeTpccSchema(300);
+  Schema schema = full.Subset({"stock", "pk_stock", "order_line",
+                               "pk_order_line", "customer", "pk_customer",
+                               "orders", "pk_orders"});
+  BoxConfig box = MakeBox2();
+  HtapBundle bundle = MakeChbenchHtapWorkload(&schema, &box, HtapConfig{});
+  DotProblem problem;
+  problem.schema = &schema;
+  problem.box = &box;
+  problem.workload = bundle.htap.get();
+  problem.relative_sla = 0.35;
+  problem.num_threads = static_cast<int>(state.range(0));
+  SearchCounters counters;
+  for (auto _ : state) {
+    DotResult r = ExactSearch(problem, ExactStrategy::kBranchAndBound);
+    benchmark::DoNotOptimize(r.toc_cents_per_task);
+    counters.Tally(r);
+  }
+  counters.Report(state);
+  state.SetLabel("8 shared objects => 3^8 layouts / " +
+                 std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_HtapBnbExactSearch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// DOT's heuristic walk over the same HTAP instance (profiled baselines,
+// speculative batching): the everyday optimization path for the mixed
+// workload.
+void BM_HtapDotOptimize(benchmark::State& state) {
+  Schema full = MakeTpccSchema(300);
+  Schema schema = full.Subset({"stock", "pk_stock", "order_line",
+                               "pk_order_line", "customer", "pk_customer",
+                               "orders", "pk_orders"});
+  BoxConfig box = MakeBox2();
+  HtapBundle bundle = MakeChbenchHtapWorkload(&schema, &box, HtapConfig{});
+  Profiler profiler(&schema, &box);
+  WorkloadProfiles profiles = profiler.ProfileWorkload(
+      *bundle.htap,
+      [&](const std::vector<int>& p) { return bundle.htap->Estimate(p); });
+  DotProblem problem;
+  problem.schema = &schema;
+  problem.box = &box;
+  problem.workload = bundle.htap.get();
+  problem.relative_sla = 0.35;
+  problem.profiles = &profiles;
+  problem.num_threads = static_cast<int>(state.range(0));
+  SearchCounters counters;
+  for (auto _ : state) {
+    DotResult r = DotOptimizer(problem).Optimize();
+    benchmark::DoNotOptimize(r.toc_cents_per_task);
+    counters.Tally(r);
+  }
+  counters.Report(state);
+  state.SetLabel("8 shared objects / " + std::to_string(state.range(0)) +
+                 " threads");
+}
+BENCHMARK(BM_HtapDotOptimize)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EnumerateMoves(benchmark::State& state) {
   SyntheticInstance inst(static_cast<int>(state.range(0)));
   DotProblem problem = inst.Problem();

@@ -1,0 +1,115 @@
+#include "catalog/chbench.h"
+
+#include <utility>
+
+namespace dot {
+
+namespace {
+
+RelationAccess Rel(const char* table, double selectivity,
+                   bool sargable = false, double clustering = 0.0) {
+  RelationAccess ra;
+  ra.table = table;
+  ra.selectivity = selectivity;
+  ra.index_sargable = sargable;
+  ra.clustering = clustering;
+  return ra;
+}
+
+JoinStep Join(double matches_per_outer, bool inner_indexable) {
+  JoinStep j;
+  j.matches_per_outer = matches_per_outer;
+  j.inner_indexable = inner_indexable;
+  return j;
+}
+
+QuerySpec Query(const char* name, std::vector<RelationAccess> relations,
+                std::vector<JoinStep> joins, bool has_sort,
+                double cpu_weight = 1.0) {
+  QuerySpec q;
+  q.name = name;
+  q.relations = std::move(relations);
+  q.joins = std::move(joins);
+  q.has_sort = has_sort;
+  q.cpu_weight = cpu_weight;
+  return q;
+}
+
+}  // namespace
+
+std::vector<QuerySpec> MakeChbenchTemplates() {
+  std::vector<QuerySpec> qs;
+
+  // CH-Q1 (TPC-H Q1 on order_line): pricing summary over nearly all order
+  // lines, aggregation-heavy. The dominant sequential reader of the mix.
+  qs.push_back(Query("CH-Q1", {Rel("order_line", 0.95)}, {}, false, 3.0));
+
+  // CH-Q3 (Q3): unshipped-order revenue. Customer segment filter, orders
+  // per customer (~10 open), lines per order (~10); top-k sort.
+  qs.push_back(Query(
+      "CH-Q3",
+      {Rel("customer", 0.2), Rel("orders", 1.0), Rel("order_line", 1.0)},
+      {Join(10.0, true), Join(10.0, true)}, true));
+
+  // CH-Q4 (Q4): order-priority check over a recent order-id range —
+  // key-sargable on the orders PK — with an EXISTS probe into the lines.
+  qs.push_back(Query("CH-Q4",
+                     {Rel("orders", 0.03, /*sargable=*/true),
+                      Rel("order_line", 1.0)},
+                     {Join(10.0, true)}, false));
+
+  // CH-Q5 (Q5): local-supplier volume. Customer x orders x lines, then the
+  // stock/supplier side resolved through the stock PK.
+  qs.push_back(Query(
+      "CH-Q5",
+      {Rel("customer", 1.0), Rel("orders", 0.15), Rel("order_line", 1.0),
+       Rel("stock", 1.0)},
+      {Join(1.5, true), Join(10.0, true), Join(1.0, true)}, true));
+
+  // CH-Q6 (Q6): revenue forecast. Narrow quantity x amount range over the
+  // lines; the predicate is not key-sargable, so this is the query whose
+  // plan flips between a full sequential scan and nothing — placement of
+  // order_line alone decides its time.
+  qs.push_back(Query("CH-Q6", {Rel("order_line", 0.02)}, {}, false));
+
+  // CH-Q12 (Q12): shipping-mode count. Recent order range (sargable),
+  // lines joined through the PK.
+  qs.push_back(Query("CH-Q12",
+                     {Rel("orders", 0.12, /*sargable=*/true),
+                      Rel("order_line", 1.0)},
+                     {Join(10.0, true)}, false));
+
+  // CH-Q17 (Q17): small-quantity-order revenue. A very selective item
+  // filter (sargable on the item PK) hash-joined against the full lines —
+  // order_line has no item index, so the inner side is a raw scan.
+  qs.push_back(Query("CH-Q17",
+                     {Rel("item", 0.01, /*sargable=*/true),
+                      Rel("order_line", 1.0)},
+                     {Join(30.0, false)}, false, 1.5));
+
+  // CH-Q22 (Q22): inactive-customer analysis. Country-code filter over
+  // customer, anti-join against recent orders via the PK.
+  qs.push_back(Query("CH-Q22",
+                     {Rel("customer", 0.1), Rel("orders", 1.0)},
+                     {Join(1.0, true)}, true));
+
+  return qs;
+}
+
+std::vector<QuerySpec> FilterTemplatesToSchema(
+    const std::vector<QuerySpec>& templates, const Schema& schema) {
+  std::vector<QuerySpec> kept;
+  for (const QuerySpec& q : templates) {
+    bool all_present = true;
+    for (const RelationAccess& ra : q.relations) {
+      if (schema.FindObject(ra.table) < 0) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) kept.push_back(q);
+  }
+  return kept;
+}
+
+}  // namespace dot

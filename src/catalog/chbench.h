@@ -1,0 +1,30 @@
+#ifndef DOTPROV_CATALOG_CHBENCH_H_
+#define DOTPROV_CATALOG_CHBENCH_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/query_spec.h"
+
+namespace dot {
+
+/// CH-benCHmark-style analytical templates over the TPC-C schema: the
+/// TPC-H-derived decision-support queries remapped onto the transactional
+/// tables (order_line plays lineitem, orders/customer/stock/item keep their
+/// roles), so one shared object set can be driven by the TPC-C transaction
+/// mix and an analytic sequence at the same time — the HTAP scenario of
+/// workload/htap_workload.h. Selectivities and join fanouts follow the
+/// TPC-H originals (workload/tpch_queries.cc) scaled to TPC-C
+/// cardinalities; table names must match MakeTpccSchema.
+std::vector<QuerySpec> MakeChbenchTemplates();
+
+/// Restricts `templates` to those whose referenced tables all exist in
+/// `schema` — the analytic analogue of FootprintBuilder's skip-if-absent
+/// rule, letting the same template set drive reduced schemas (e.g. the
+/// exact-search studies on the hottest objects).
+std::vector<QuerySpec> FilterTemplatesToSchema(
+    const std::vector<QuerySpec>& templates, const Schema& schema);
+
+}  // namespace dot
+
+#endif  // DOTPROV_CATALOG_CHBENCH_H_

@@ -9,11 +9,13 @@
 ///   2. Describe the database objects (Schema) — MakeTpchSchema(),
 ///      MakeTpccSchema(), or build your own.
 ///   3. Describe the workload — a DssWorkloadModel over declarative query
-///      templates, or an OltpWorkloadModel over transaction footprints.
+///      templates, an OltpWorkloadModel over transaction footprints, or an
+///      HtapWorkload composing both over one shared schema.
 ///   4. Profile it (Profiler::ProfileWorkload), pick an SLA, and run
 ///      DotOptimizer (or the full RunDotPipeline with validation and
 ///      refinement).
 
+#include "catalog/chbench.h"
 #include "catalog/schema.h"
 #include "catalog/tpcc_schema.h"
 #include "catalog/tpch_schema.h"
@@ -39,6 +41,7 @@
 #include "storage/standard_catalog.h"
 #include "storage/storage_class.h"
 #include "workload/dss_workload.h"
+#include "workload/htap_workload.h"
 #include "workload/oltp_workload.h"
 #include "workload/profiler.h"
 #include "workload/tpcc_workload.h"

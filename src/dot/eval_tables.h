@@ -21,7 +21,8 @@ namespace dot {
 ///   * space/capacity/cost: a fixed-order sum of per-object sizes into a
 ///     stack buffer, priced by the same span kernels Layout uses;
 ///   * workload time: the model's FastScorer (per-object device-time tables
-///     for OLTP, a footprint-keyed plan cache for DSS).
+///     for OLTP, a footprint-keyed plan cache for DSS, and for HTAP a
+///     composite of both plus the interference tables).
 ///
 /// Every value is bit-identical to what EvaluateOne/EstimateToc would
 /// produce — the fast path reorganizes the arithmetic, it never

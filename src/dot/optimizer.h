@@ -50,8 +50,9 @@ struct DotResult {
 
   /// DSS plan-cache traffic of the run's fast evaluation path (both 0 for
   /// OLTP models, which have no plan cache, and when the fast path is
-  /// disabled). Diagnostics only: the counts vary with thread count even
-  /// though the search result does not.
+  /// disabled; HTAP models report their analytic side's cache). Diagnostics
+  /// only: the counts vary with thread count even though the search result
+  /// does not.
   long long plan_cache_hits = 0;
   long long plan_cache_misses = 0;
 

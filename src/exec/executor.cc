@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "common/units.h"
 
 namespace dot {
 
@@ -23,18 +22,14 @@ PerfEstimate Executor::Run(const std::vector<int>& placement) {
     const double sigma2 = std::log(1.0 + config_.noise_cv * config_.noise_cv);
     const double mu = -0.5 * sigma2;
     const double sigma = std::sqrt(sigma2);
-    double total = 0.0;
     for (double& t : measured.unit_times_ms) {
       t *= std::exp(mu + sigma * rng_.NextGaussian());
-      total += t;
     }
     if (model_->sla_kind() == SlaKind::kPerQueryResponseTime) {
-      measured.elapsed_ms = total;
-      if (total > 0) {
-        measured.tasks_per_hour =
-            static_cast<double>(measured.unit_times_ms.size()) /
-            (total / kMsPerHour);
-      }
+      // The model owns the meaning of its unit-time entries (run-sequence
+      // queries for DSS, the two folded per-side times for HTAP): let it
+      // recompute the derived scalars from the jittered vector.
+      model_->RederiveFromUnitTimes(&measured);
     } else {
       // Throughput workloads: jitter the rate directly.
       const double jitter = std::exp(mu + sigma * rng_.NextGaussian());

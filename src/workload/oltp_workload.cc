@@ -9,11 +9,95 @@
 
 namespace dot {
 
+OltpLatencyTables::OltpLatencyTables(const OltpWorkloadModel& model,
+                                     const BoxConfig& box,
+                                     const std::vector<double>& io_scale)
+    : num_objects_(static_cast<int>(model.txn_types().front().io.size())),
+      num_classes_(box.NumClasses()) {
+  const int num_classes = num_classes_;
+  for (const TxnType& t : model.txn_types()) {
+    TxnTable table;
+    table.weight = t.weight;
+    table.cpu_ms = t.cpu_ms;
+    table.overhead_ms = t.overhead_ms;
+    for (size_t o = 0; o < t.io.size(); ++o) {
+      IoVector io = t.io[o];
+      if (!io_scale.empty()) io *= io_scale[o];
+      // IoTimeShareMs skips zero entries; mirror that by storing only
+      // non-zero rows (a zero row would contribute an exact 0.0 anyway).
+      if (io.IsZero()) continue;
+      Row row;
+      row.object = static_cast<int>(o);
+      row.time_by_class.reserve(static_cast<size_t>(num_classes));
+      for (int c = 0; c < num_classes; ++c) {
+        row.time_by_class.push_back(
+            box.classes[static_cast<size_t>(c)].device().TimeForMs(
+                io, model.concurrency()));
+      }
+      table.rows.push_back(std::move(row));
+    }
+    tables_.push_back(std::move(table));
+  }
+
+  // Branch-and-bound tables. base_mean_latency_ms_ is the mix-weighted
+  // mean latency with *every* object on its per-row fastest class — the
+  // unconstrained minimum; excess_[o][c] is the guaranteed increase from
+  // committing object o to class c. Their sum over an assignment lower-
+  // bounds the mean latency of every completion (the unassigned objects
+  // contribute at least their row minima).
+  excess_.assign(
+      static_cast<size_t>(num_objects_) * static_cast<size_t>(num_classes),
+      0.0);
+  base_mean_latency_ms_ = 0.0;
+  for (const TxnTable& t : tables_) {
+    double min_io_ms = 0.0;
+    for (const Row& row : t.rows) {
+      double row_min = row.time_by_class[0];
+      for (double v : row.time_by_class) row_min = std::min(row_min, v);
+      min_io_ms += row_min;
+      for (int c = 0; c < num_classes; ++c) {
+        excess_[static_cast<size_t>(row.object) *
+                    static_cast<size_t>(num_classes) +
+                static_cast<size_t>(c)] +=
+            t.weight * (row.time_by_class[static_cast<size_t>(c)] - row_min);
+      }
+    }
+    base_mean_latency_ms_ +=
+        t.weight * (min_io_ms + t.cpu_ms + t.overhead_ms);
+  }
+}
+
+double OltpLatencyTables::MeanLatencyMs(
+    const std::vector<int>& placement) const {
+  double mean_latency_ms = 0.0;
+  for (const TxnTable& t : tables_) {
+    double io_ms = 0.0;
+    for (const Row& row : t.rows) {
+      io_ms += row.time_by_class[static_cast<size_t>(
+          placement[static_cast<size_t>(row.object)])];
+    }
+    const double latency = io_ms + t.cpu_ms + t.overhead_ms;
+    mean_latency_ms += t.weight * latency;
+  }
+  return mean_latency_ms;
+}
+
+double OltpLatencyTables::SpreadMs(int object) const {
+  const size_t base =
+      static_cast<size_t>(object) * static_cast<size_t>(num_classes_);
+  double lo = excess_[base];
+  double hi = excess_[base];
+  for (int c = 1; c < num_classes_; ++c) {
+    lo = std::min(lo, excess_[base + static_cast<size_t>(c)]);
+    hi = std::max(hi, excess_[base + static_cast<size_t>(c)]);
+  }
+  return hi - lo;
+}
+
 namespace {
 
-/// The OLTP fast path: per-(transaction, object, class) device times,
-/// precomputed once (with any io_scale baked in), summed per candidate in
-/// the same object order as IoTimeShareMs. No allocation per Score call.
+/// The OLTP fast path over OltpLatencyTables: one candidate costs a
+/// fixed-order table-lookup sum with no allocation per Score call.
 class OltpFastScorer : public FastScorer {
  public:
   OltpFastScorer(const OltpWorkloadModel* model, const BoxConfig* box,
@@ -21,78 +105,13 @@ class OltpFastScorer : public FastScorer {
                  const std::vector<double>& io_scale, double min_tpmc,
                  double sla_tolerance)
       : model_(model),
-        num_objects_(static_cast<int>(
-            model->txn_types().front().io.size())),
-        num_classes_(box->NumClasses()),
+        tables_(*model, *box, io_scale),
         measurement_period_ms_(measurement_period_ms),
         // Exactly the comparison MeetsTargets makes for throughput SLAs.
-        tpmc_floor_(min_tpmc * (1 - sla_tolerance)) {
-    const int num_classes = num_classes_;
-    for (const TxnType& t : model->txn_types()) {
-      TxnTable table;
-      table.weight = t.weight;
-      table.cpu_ms = t.cpu_ms;
-      table.overhead_ms = t.overhead_ms;
-      for (size_t o = 0; o < t.io.size(); ++o) {
-        IoVector io = t.io[o];
-        if (!io_scale.empty()) io *= io_scale[o];
-        // IoTimeShareMs skips zero entries; mirror that by storing only
-        // non-zero rows (a zero row would contribute an exact 0.0 anyway).
-        if (io.IsZero()) continue;
-        Row row;
-        row.object = static_cast<int>(o);
-        row.time_by_class.reserve(static_cast<size_t>(num_classes));
-        for (int c = 0; c < num_classes; ++c) {
-          row.time_by_class.push_back(
-              box->classes[static_cast<size_t>(c)].device().TimeForMs(
-                  io, model->concurrency()));
-        }
-        table.rows.push_back(std::move(row));
-      }
-      tables_.push_back(std::move(table));
-    }
-
-    // Branch-and-bound tables. base_mean_latency_ms_ is the mix-weighted
-    // mean latency with *every* object on its per-row fastest class — the
-    // unconstrained minimum; excess_[o][c] is the guaranteed increase from
-    // committing object o to class c. Their sum over an assignment lower-
-    // bounds the mean latency of every completion (the unassigned objects
-    // contribute at least their row minima).
-    excess_.assign(
-        static_cast<size_t>(num_objects_) * static_cast<size_t>(num_classes),
-        0.0);
-    base_mean_latency_ms_ = 0.0;
-    for (const TxnTable& t : tables_) {
-      double min_io_ms = 0.0;
-      for (const Row& row : t.rows) {
-        double row_min = row.time_by_class[0];
-        for (double v : row.time_by_class) row_min = std::min(row_min, v);
-        min_io_ms += row_min;
-        for (int c = 0; c < num_classes; ++c) {
-          excess_[static_cast<size_t>(row.object) *
-                      static_cast<size_t>(num_classes) +
-                  static_cast<size_t>(c)] +=
-              t.weight *
-              (row.time_by_class[static_cast<size_t>(c)] - row_min);
-        }
-      }
-      base_mean_latency_ms_ += t.weight * (min_io_ms + t.cpu_ms +
-                                           t.overhead_ms);
-    }
-  }
+        tpmc_floor_(min_tpmc * (1 - sla_tolerance)) {}
 
   QuickPerf Score(const std::vector<int>& placement) const override {
-    double mean_latency_ms = 0.0;
-    for (const TxnTable& t : tables_) {
-      double io_ms = 0.0;
-      for (const Row& row : t.rows) {
-        io_ms +=
-            row.time_by_class[static_cast<size_t>(
-                placement[static_cast<size_t>(row.object)])];
-      }
-      const double latency = io_ms + t.cpu_ms + t.overhead_ms;
-      mean_latency_ms += t.weight * latency;
-    }
+    const double mean_latency_ms = tables_.MeanLatencyMs(placement);
     DOT_CHECK(mean_latency_ms > 0);
     const OltpWorkloadModel::Throughput tp =
         model_->ThroughputFromMeanLatency(mean_latency_ms);
@@ -113,22 +132,21 @@ class OltpFastScorer : public FastScorer {
    public:
     explicit BoundCursor(const OltpFastScorer* scorer)
         : scorer_(scorer),
-          lb_stack_(static_cast<size_t>(scorer->num_objects_) + 1, 0.0) {
+          lb_stack_(
+              static_cast<size_t>(scorer->tables_.num_objects()) + 1, 0.0) {
       Reset();
     }
 
     void Reset() override {
       depth_ = 0;
-      lb_stack_[0] = scorer_->base_mean_latency_ms_;
+      lb_stack_[0] = scorer_->tables_.base_mean_latency_ms();
     }
 
     void Assign(int object_id, const std::vector<int>& placement) override {
-      const size_t idx =
-          static_cast<size_t>(object_id) *
-              static_cast<size_t>(scorer_->num_classes_) +
-          static_cast<size_t>(placement[static_cast<size_t>(object_id)]);
       lb_stack_[static_cast<size_t>(depth_) + 1] =
-          lb_stack_[static_cast<size_t>(depth_)] + scorer_->excess_[idx];
+          lb_stack_[static_cast<size_t>(depth_)] +
+          scorer_->tables_.Excess(
+              object_id, placement[static_cast<size_t>(object_id)]);
       ++depth_;
     }
 
@@ -138,7 +156,7 @@ class OltpFastScorer : public FastScorer {
     }
 
     QuickPerf Optimistic(const std::vector<int>& placement) const override {
-      if (depth_ == scorer_->num_objects_) {
+      if (depth_ == scorer_->tables_.num_objects()) {
         // Leaf: the exact kernel, bit-identical to Score.
         return scorer_->Score(placement);
       }
@@ -168,40 +186,14 @@ class OltpFastScorer : public FastScorer {
   }
 
   double ObjectTimeSpreadMs(int object) const override {
-    const size_t base = static_cast<size_t>(object) *
-                        static_cast<size_t>(num_classes_);
-    double lo = excess_[base];
-    double hi = excess_[base];
-    for (int c = 1; c < num_classes_; ++c) {
-      lo = std::min(lo, excess_[base + static_cast<size_t>(c)]);
-      hi = std::max(hi, excess_[base + static_cast<size_t>(c)]);
-    }
-    return hi - lo;
+    return tables_.SpreadMs(object);
   }
 
  private:
-  struct Row {
-    int object = -1;
-    std::vector<double> time_by_class;  ///< τ·χ summed over I/O types
-  };
-  struct TxnTable {
-    double weight = 0.0;
-    double cpu_ms = 0.0;
-    double overhead_ms = 0.0;
-    std::vector<Row> rows;  ///< ascending object id, non-zero I/O only
-  };
-
   const OltpWorkloadModel* model_;
-  int num_objects_;
-  int num_classes_;
+  OltpLatencyTables tables_;
   double measurement_period_ms_;
   double tpmc_floor_;
-  std::vector<TxnTable> tables_;
-  /// Branch-and-bound tables (see ctor): mean latency with all objects on
-  /// their per-row fastest class, and the guaranteed mean-latency increase
-  /// of committing object o to class c.
-  double base_mean_latency_ms_ = 0.0;
-  std::vector<double> excess_;  ///< [object * num_classes + class]
 };
 
 }  // namespace

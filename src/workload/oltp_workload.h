@@ -75,6 +75,8 @@ class OltpWorkloadModel : public WorkloadModel {
   /// type named "NewOrder" if present, otherwise type 0.
   int primary_txn_index() const { return primary_txn_; }
 
+  double measurement_period_ms() const { return measurement_period_ms_; }
+
   /// The mean-latency → throughput kernel (contention term + closed-loop
   /// rate + mix shares). Shared by the full estimate and the fast scorer so
   /// both run exactly the same arithmetic; not intended for external use.
@@ -94,6 +96,61 @@ class OltpWorkloadModel : public WorkloadModel {
   double measurement_period_ms_;
   double contention_reference_ms_;
   int primary_txn_ = 0;
+};
+
+/// The arithmetic core of the OLTP fast path, extracted so the HTAP
+/// composite scorer (workload/htap_workload.cc) runs *exactly* the same
+/// mean-latency kernel as the pure OLTP scorer: per-(transaction, object,
+/// class) device times precomputed once (with any io_scale baked in) and
+/// summed per candidate in the same object order as IoTimeShareMs, so
+/// MeanLatencyMs is bit-identical to the mix-weighted mean the model's
+/// EstimateWithIoScale computes. Also carries the branch-and-bound tables:
+/// the unconstrained latency minimum and the guaranteed per-(object, class)
+/// excess, whose sum over any partial assignment lower-bounds the mean
+/// latency of every completion.
+class OltpLatencyTables {
+ public:
+  OltpLatencyTables(const OltpWorkloadModel& model, const BoxConfig& box,
+                    const std::vector<double>& io_scale);
+
+  /// Mix-weighted mean transaction latency under `placement`; the fast
+  /// scorers' Score loop. No allocation.
+  double MeanLatencyMs(const std::vector<int>& placement) const;
+
+  /// Mean latency with every object on its per-row fastest class — the
+  /// unconstrained minimum the bound stacks grow from.
+  double base_mean_latency_ms() const { return base_mean_latency_ms_; }
+
+  /// Guaranteed mean-latency increase of committing `object` to `cls`.
+  double Excess(int object, int cls) const {
+    return excess_[static_cast<size_t>(object) *
+                       static_cast<size_t>(num_classes_) +
+                   static_cast<size_t>(cls)];
+  }
+
+  /// Spread of Excess across classes (a BnB variable-ordering hint).
+  double SpreadMs(int object) const;
+
+  int num_objects() const { return num_objects_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Row {
+    int object = -1;
+    std::vector<double> time_by_class;  ///< τ·χ summed over I/O types
+  };
+  struct TxnTable {
+    double weight = 0.0;
+    double cpu_ms = 0.0;
+    double overhead_ms = 0.0;
+    std::vector<Row> rows;  ///< ascending object id, non-zero I/O only
+  };
+
+  int num_objects_ = 0;
+  int num_classes_ = 0;
+  std::vector<TxnTable> tables_;
+  double base_mean_latency_ms_ = 0.0;
+  std::vector<double> excess_;  ///< [object * num_classes + class]
 };
 
 }  // namespace dot

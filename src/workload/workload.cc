@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include "common/check.h"
+#include "common/units.h"
 
 namespace dot {
 
@@ -31,6 +32,17 @@ PerfEstimate WorkloadModel::EstimateWithIoScale(
   DOT_CHECK(io_scale.empty())
       << "this workload model does not support I/O scaling";
   return Estimate(placement);
+}
+
+void WorkloadModel::RederiveFromUnitTimes(PerfEstimate* est) const {
+  if (sla_kind() != SlaKind::kPerQueryResponseTime) return;
+  double total = 0.0;
+  for (double t : est->unit_times_ms) total += t;
+  est->elapsed_ms = total;
+  if (total > 0) {
+    est->tasks_per_hour = static_cast<double>(est->unit_times_ms.size()) /
+                          (total / kMsPerHour);
+  }
 }
 
 std::vector<int> UniformPlacement(int num_objects, int cls) {

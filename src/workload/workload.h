@@ -117,7 +117,11 @@ class FastScorer {
   ///      the current partial assignment (0 stands for "unbounded"), and
   ///      Optimistic().sla_ok is false only when *no* extension can meet
   ///      the caps. Implementations deflate floating-point-noisy terms by
-  ///      kBoundSafety so admissibility survives rounding.
+  ///      kBoundSafety so admissibility survives rounding. Admissible
+  ///      bounds compose: a workload summing independent parts (the HTAP
+  ///      model) may sum its parts' bounds — per-side upper bounds on
+  ///      throughput add to a combined upper bound, per-side time lower
+  ///      bounds add to a combined lower bound.
   ///   2. Exact at the leaves: with every object assigned, Optimistic()
   ///      must be bit-identical to Score(placement) — the search evaluates
   ///      leaves through this path and its results must match the
@@ -213,6 +217,16 @@ class WorkloadModel {
   /// TPC-C is all random access), letting the profiler collapse all
   /// baseline layouts into one.
   virtual bool PlansArePlacementInvariant() const { return false; }
+
+  /// Recomputes the scalars derivable from unit_times_ms (elapsed_ms,
+  /// tasks_per_hour, tpmc) after a caller perturbed the unit times — the
+  /// test-run executor's hook, so each model owns the meaning of its own
+  /// entries. The default implements the DSS convention (elapsed = Σ
+  /// entries, tasks/hour = entries per elapsed hour) and is a no-op for
+  /// throughput models, whose executor jitters the rate directly; the
+  /// HTAP model reruns its throughput composition from the two folded
+  /// per-side times.
+  virtual void RederiveFromUnitTimes(PerfEstimate* est) const;
 };
 
 /// Uniform placement: every object on storage class `cls`.

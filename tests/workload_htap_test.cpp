@@ -1,0 +1,278 @@
+// HtapWorkload model semantics: the additive interference model (zero
+// coupling isolates the sides, terms are additive over shared objects and
+// scale with κ and ρ), the two-entry SLA folding (OLTP mean-latency cap +
+// DSS completion-time cap through the standard PerfTargets machinery), the
+// combined objective's composition from the two sides, and mix-ratio
+// monotonicity — more analytic streams shift throughput toward the
+// analytic side and never speed up the transactions.
+
+#include "workload/htap_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "catalog/chbench.h"
+#include "catalog/tpcc_schema.h"
+#include "common/rng.h"
+#include "dot/sla.h"
+#include "exec/executor.h"
+#include "storage/standard_catalog.h"
+
+namespace dot {
+namespace {
+
+/// A small CH-benCH HTAP instance over the hottest TPC-C objects (every
+/// table here is touched by both the transaction mix and some analytic
+/// template, so interference rows exist for all of them).
+struct SmallHtap {
+  Schema schema;
+  BoxConfig box = MakeBox2();
+  HtapBundle bundle;
+
+  explicit SmallHtap(const HtapConfig& config) {
+    Schema full = MakeTpccSchema(30);
+    schema = full.Subset({"stock", "pk_stock", "order_line", "pk_order_line",
+                          "customer", "pk_customer", "orders", "pk_orders"});
+    bundle = MakeChbenchHtapWorkload(&schema, &box, config);
+  }
+
+  const HtapWorkload& htap() const { return *bundle.htap; }
+};
+
+TEST(HtapInterferenceTest, ZeroCouplingIsolatesTheSides) {
+  HtapConfig config;
+  config.interference_kappa = 0.0;
+  SmallHtap inst(config);
+  EXPECT_TRUE(inst.htap().interference_rows().empty());
+  const std::vector<int> p = UniformPlacement(inst.schema.NumObjects(), 0);
+  EXPECT_EQ(inst.htap().OltpInterferenceMs(p), 0.0);
+  EXPECT_EQ(inst.htap().DssInterferenceMs(p), 0.0);
+
+  // With κ = 0 the combined estimate is exactly the two inner models'
+  // numbers: the mix-weighted mean latency and the analytic sequence time.
+  const PerfEstimate est = inst.htap().Estimate(p);
+  const PerfEstimate dss_est = inst.bundle.dss->Estimate(p);
+  EXPECT_EQ(est.unit_times_ms[kHtapDssEntry], dss_est.elapsed_ms);
+  const PerfEstimate oltp_est = inst.bundle.oltp->Estimate(p);
+  double mean = 0.0;
+  const auto& txns = inst.bundle.oltp->txn_types();
+  for (size_t i = 0; i < txns.size(); ++i) {
+    mean += txns[i].weight * oltp_est.unit_times_ms[i];
+  }
+  EXPECT_EQ(est.unit_times_ms[kHtapOltpEntry], mean);
+}
+
+TEST(HtapInterferenceTest, OnlySharedObjectsGetInterferenceRows) {
+  // The full TPC-C schema has objects the analytic templates never touch
+  // (e.g. history, new_order); they must carry no interference term.
+  Schema schema = MakeTpccSchema(30);
+  BoxConfig box = MakeBox2();
+  HtapBundle bundle = MakeChbenchHtapWorkload(&schema, &box, HtapConfig{});
+  ASSERT_FALSE(bundle.htap->interference_rows().empty());
+  const int history = schema.FindObject("history");
+  ASSERT_GE(history, 0);
+  for (const HtapWorkload::InterferenceRow& row :
+       bundle.htap->interference_rows()) {
+    EXPECT_NE(row.object, history);
+    EXPECT_EQ(row.oltp_ms_by_class.size(),
+              static_cast<size_t>(box.NumClasses()));
+    EXPECT_EQ(row.dss_ms_by_class.size(),
+              static_cast<size_t>(box.NumClasses()));
+  }
+  // order_line is the hottest shared object: both the mix and CH-Q1 hit
+  // it, so it must be present.
+  const int order_line = schema.FindObject("order_line");
+  bool found = false;
+  for (const auto& row : bundle.htap->interference_rows()) {
+    found = found || row.object == order_line;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HtapInterferenceTest, TermsScaleLinearlyWithCoupling) {
+  HtapConfig base_config;
+  base_config.interference_kappa = 0.05;
+  HtapConfig doubled = base_config;
+  doubled.interference_kappa = 0.10;
+  SmallHtap base(base_config);
+  SmallHtap twice(doubled);
+  const std::vector<int> p = UniformPlacement(base.schema.NumObjects(), 1);
+  const double base_oltp = base.htap().OltpInterferenceMs(p);
+  const double base_dss = base.htap().DssInterferenceMs(p);
+  EXPECT_GT(base_oltp, 0.0);
+  EXPECT_GT(base_dss, 0.0);
+  EXPECT_NEAR(twice.htap().OltpInterferenceMs(p), 2 * base_oltp,
+              1e-12 * base_oltp);
+  EXPECT_NEAR(twice.htap().DssInterferenceMs(p), 2 * base_dss,
+              1e-12 * base_dss);
+}
+
+TEST(HtapInterferenceTest, AdditiveOverSharedObjects) {
+  SmallHtap inst(HtapConfig{});
+  std::vector<int> p = UniformPlacement(inst.schema.NumObjects(), 0);
+  double expected = 0.0;
+  for (const auto& row : inst.htap().interference_rows()) {
+    expected += row.oltp_ms_by_class[0];
+  }
+  EXPECT_EQ(inst.htap().OltpInterferenceMs(p), expected);
+
+  // Moving one shared object changes exactly its own term.
+  const auto& first = inst.htap().interference_rows().front();
+  p[static_cast<size_t>(first.object)] = 2;
+  EXPECT_EQ(inst.htap().OltpInterferenceMs(p),
+            expected - first.oltp_ms_by_class[0] + first.oltp_ms_by_class[2]);
+}
+
+TEST(HtapSlaTest, TargetsFoldOneCapPerSide) {
+  SmallHtap inst(HtapConfig{});
+  const double rel_sla = 0.5;
+  const PerfTargets targets = MakePerfTargets(
+      inst.htap(), inst.box, inst.schema.NumObjects(), rel_sla);
+  EXPECT_EQ(targets.kind, SlaKind::kPerQueryResponseTime);
+  ASSERT_EQ(targets.query_caps_ms.size(), 2u);
+  ASSERT_EQ(targets.best_case.unit_times_ms.size(), 2u);
+  EXPECT_EQ(targets.query_caps_ms[kHtapOltpEntry],
+            targets.best_case.unit_times_ms[kHtapOltpEntry] / rel_sla);
+  EXPECT_EQ(targets.query_caps_ms[kHtapDssEntry],
+            targets.best_case.unit_times_ms[kHtapDssEntry] / rel_sla);
+
+  // The best case (everything premium) meets its own caps; each side's
+  // verdict is enforced independently of the other.
+  EXPECT_TRUE(MeetsTargets(targets.best_case, targets));
+  PerfEstimate oltp_violator = targets.best_case;
+  oltp_violator.unit_times_ms[kHtapOltpEntry] =
+      targets.query_caps_ms[kHtapOltpEntry] * 1.01;
+  EXPECT_FALSE(MeetsTargets(oltp_violator, targets));
+  PerfEstimate dss_violator = targets.best_case;
+  dss_violator.unit_times_ms[kHtapDssEntry] =
+      targets.query_caps_ms[kHtapDssEntry] * 1.01;
+  EXPECT_FALSE(MeetsTargets(dss_violator, targets));
+  EXPECT_EQ(Psr(dss_violator, targets), 0.5);
+}
+
+TEST(HtapObjectiveTest, CombinedThroughputComposesFromBothSides) {
+  SmallHtap inst(HtapConfig{});
+  const std::vector<int> p = UniformPlacement(inst.schema.NumObjects(), 1);
+  const PerfEstimate est = inst.htap().Estimate(p);
+  ASSERT_EQ(est.unit_times_ms.size(), 2u);
+  const OltpWorkloadModel::Throughput tp =
+      inst.bundle.oltp->ThroughputFromMeanLatency(
+          est.unit_times_ms[kHtapOltpEntry]);
+  EXPECT_EQ(est.tpmc, tp.tpmc);
+  EXPECT_EQ(est.tasks_per_hour,
+            tp.tasks_per_hour + inst.htap().AnalyticsTasksPerHour(
+                                    est.unit_times_ms[kHtapDssEntry]));
+  // The measurement window is the OLTP side's.
+  EXPECT_EQ(est.elapsed_ms, inst.bundle.oltp->measurement_period_ms());
+}
+
+TEST(HtapMixRatioTest, MoreStreamsShiftThroughputTowardAnalytics) {
+  double prev_analytic_share = -1.0;
+  double prev_tpmc = -1.0;
+  for (double streams : {0.25, 1.0, 4.0, 16.0}) {
+    HtapConfig config;
+    config.analytics_streams = streams;
+    SmallHtap inst(config);
+    const std::vector<int> p =
+        UniformPlacement(inst.schema.NumObjects(), 2);
+    const PerfEstimate est = inst.htap().Estimate(p);
+    const double analytic = inst.htap().AnalyticsTasksPerHour(
+        est.unit_times_ms[kHtapDssEntry]);
+    const double share = analytic / est.tasks_per_hour;
+    if (prev_analytic_share >= 0) {
+      // ρ multiplies the analytic rate and inflates OLTP interference, so
+      // the analytic share strictly grows and tpmC strictly falls.
+      EXPECT_GT(share, prev_analytic_share) << "streams=" << streams;
+      EXPECT_LT(est.tpmc, prev_tpmc) << "streams=" << streams;
+    }
+    prev_analytic_share = share;
+    prev_tpmc = est.tpmc;
+  }
+}
+
+TEST(HtapMixRatioTest, AnalyticsRateIsInverselyProportionalToSequenceTime) {
+  SmallHtap inst(HtapConfig{});
+  const double at_1s = inst.htap().AnalyticsTasksPerHour(1000.0);
+  const double at_2s = inst.htap().AnalyticsTasksPerHour(2000.0);
+  EXPECT_NEAR(at_1s, 2 * at_2s, 1e-9 * at_1s);
+  const double seq_len =
+      static_cast<double>(inst.bundle.dss->sequence().size());
+  // One-hour sequence time, one stream, unit task weight → exactly
+  // seq_len queries/hour.
+  HtapConfig one;
+  one.analytics_streams = 1.0;
+  one.analytics_task_weight = 1.0;
+  SmallHtap single(one);
+  EXPECT_NEAR(single.htap().AnalyticsTasksPerHour(3600.0 * 1000.0), seq_len,
+              1e-9 * seq_len);
+}
+
+TEST(HtapFastScorerTest, ScoreMatchesEstimateBitForBit) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    HtapConfig config;
+    config.analytics_streams = 0.5 * static_cast<double>(seed);
+    SmallHtap inst(config);
+    const PerfTargets targets = MakePerfTargets(
+        inst.htap(), inst.box, inst.schema.NumObjects(), /*sla=*/0.3);
+    const std::unique_ptr<FastScorer> scorer = inst.htap().MakeFastScorer(
+        {}, targets.query_caps_ms, targets.min_tpmc, kDefaultSlaTolerance);
+    ASSERT_NE(scorer, nullptr);
+    Rng rng(seed * 97);
+    std::vector<int> p(static_cast<size_t>(inst.schema.NumObjects()), 0);
+    for (int round = 0; round < 60; ++round) {
+      const size_t o =
+          rng.NextBounded(static_cast<uint64_t>(p.size()));
+      p[o] = static_cast<int>(rng.NextBounded(
+          static_cast<uint64_t>(inst.box.NumClasses())));
+      const QuickPerf qp = scorer->Score(p);
+      const PerfEstimate est = inst.htap().Estimate(p);
+      EXPECT_EQ(qp.elapsed_ms, est.elapsed_ms);
+      EXPECT_EQ(qp.tpmc, est.tpmc);
+      EXPECT_EQ(qp.tasks_per_hour, est.tasks_per_hour);
+      EXPECT_EQ(qp.sla_ok, MeetsTargets(est, targets));
+    }
+  }
+}
+
+TEST(HtapExecutorTest, TestRunRederivesThroughputFromTheFoldedTimes) {
+  // A noisy test run jitters the two folded unit times; the derived
+  // scalars must come from the HTAP composition (contention kernel +
+  // analytic rate), not the DSS sequence convention the executor applies
+  // to plain response-time workloads.
+  SmallHtap inst(HtapConfig{});
+  ExecutorConfig exec_config;
+  exec_config.seed = 7;
+  Executor executor(inst.bundle.htap.get(), exec_config);
+  const std::vector<int> p = UniformPlacement(inst.schema.NumObjects(), 1);
+  const PerfEstimate measured = executor.Run(p);
+  ASSERT_EQ(measured.unit_times_ms.size(), 2u);
+  EXPECT_EQ(measured.elapsed_ms, inst.bundle.oltp->measurement_period_ms());
+  const OltpWorkloadModel::Throughput tp =
+      inst.bundle.oltp->ThroughputFromMeanLatency(
+          measured.unit_times_ms[kHtapOltpEntry]);
+  EXPECT_EQ(measured.tpmc, tp.tpmc);
+  EXPECT_EQ(measured.tasks_per_hour,
+            tp.tasks_per_hour + inst.htap().AnalyticsTasksPerHour(
+                                    measured.unit_times_ms[kHtapDssEntry]));
+}
+
+TEST(HtapFactoryTest, SubsetSchemasDropTemplatesThatNeedMissingTables) {
+  const std::vector<QuerySpec> all = MakeChbenchTemplates();
+  Schema full = MakeTpccSchema(30);
+  EXPECT_EQ(FilterTemplatesToSchema(all, full).size(), all.size());
+  Schema no_item = full.Subset({"customer", "pk_customer", "orders",
+                                "pk_orders", "order_line", "pk_order_line"});
+  const std::vector<QuerySpec> kept = FilterTemplatesToSchema(all, no_item);
+  EXPECT_LT(kept.size(), all.size());
+  EXPECT_FALSE(kept.empty());
+  for (const QuerySpec& q : kept) {
+    for (const RelationAccess& ra : q.relations) {
+      EXPECT_GE(no_item.FindObject(ra.table), 0) << q.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dot
