@@ -1,5 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
 #include "common/check.h"
 #include "common/str_util.h"
 
@@ -112,6 +118,182 @@ Instance::Evaluation Instance::Evaluate(const std::vector<int>& placement,
 std::string Sci(double v) { return StrPrintf("%.2e", v); }
 
 std::string Minutes(double ms) { return StrPrintf("%.1f", ms / 60000.0); }
+
+namespace {
+
+/// Splits the text between the benchmarks array's brackets into complete
+/// top-level JSON objects by quote-aware brace counting.
+std::vector<std::string> SplitArrayObjects(const std::string& body) {
+  std::vector<std::string> blocks;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  size_t start = std::string::npos;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0 && start != std::string::npos) {
+        blocks.push_back(body.substr(start, i - start + 1));
+        start = std::string::npos;
+      }
+    }
+  }
+  return blocks;
+}
+
+/// Position one past the ']' closing the array that opens at `open`, or
+/// npos on malformed input.
+size_t FindArrayEnd(const std::string& text, size_t open) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::string MakeBenchmarkJsonEntry(
+    const std::string& name, double real_time_ms,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  std::string out;
+  out += "    {\n";
+  out += "      \"name\": \"" + name + "\",\n";
+  out += "      \"run_name\": \"" + name + "\",\n";
+  out += "      \"run_type\": \"iteration\",\n";
+  out += "      \"repetitions\": 1,\n";
+  out += "      \"repetition_index\": 0,\n";
+  out += "      \"threads\": 1,\n";
+  out += "      \"iterations\": 1,\n";
+  out += StrPrintf("      \"real_time\": %.17g,\n", real_time_ms);
+  out += StrPrintf("      \"cpu_time\": %.17g,\n", real_time_ms);
+  out += "      \"time_unit\": \"ms\"";
+  for (const auto& counter : counters) {
+    out += StrPrintf(",\n      \"%s\": %.17g", counter.first.c_str(),
+                     counter.second);
+  }
+  out += "\n    }";
+  return out;
+}
+
+bool MergeBenchmarkJson(const std::string& path,
+                        const std::string& name_prefix,
+                        const std::vector<std::string>& entry_blocks) {
+  std::string content;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      content = buffer.str();
+    }
+  }
+
+  std::vector<std::string> blocks;
+  std::string prefix_text;  // everything before the benchmarks array
+  std::string suffix_text;  // everything after it
+  if (!content.empty()) {
+    const std::string key = "\"benchmarks\":";
+    const size_t key_pos = content.find(key);
+    const size_t open =
+        key_pos == std::string::npos ? std::string::npos
+                                     : content.find('[', key_pos);
+    const size_t end =
+        open == std::string::npos ? std::string::npos
+                                  : FindArrayEnd(content, open);
+    if (end == std::string::npos) {
+      std::cerr << "MergeBenchmarkJson: " << path
+                << " exists but has no parsable \"benchmarks\" array; "
+                   "leaving it untouched\n";
+      return false;
+    }
+    prefix_text = content.substr(0, open + 1);
+    suffix_text = content.substr(end - 1);  // from the closing ']'
+    for (std::string& block :
+         SplitArrayObjects(content.substr(open + 1, end - 1 - (open + 1)))) {
+      // Drop stale entries from a previous merge of the same producer.
+      if (block.find("\"name\": \"" + name_prefix) != std::string::npos) {
+        continue;
+      }
+      blocks.push_back(std::move(block));
+    }
+    // Normalize indentation of retained blocks (they arrive trimmed to
+    // the braces).
+    for (std::string& block : blocks) {
+      if (block.rfind("    {", 0) != 0) block = "    " + block;
+    }
+  } else {
+    prefix_text =
+        "{\n  \"context\": {\n    \"executable\": \"bench (plain main)\"\n"
+        "  },\n  \"benchmarks\": [";
+    suffix_text = "]\n}\n";
+  }
+
+  for (const std::string& block : entry_blocks) blocks.push_back(block);
+
+  // Write-then-rename so a mid-write failure can never destroy the
+  // existing trajectory artifact.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "MergeBenchmarkJson: cannot write " << tmp_path << "\n";
+      return false;
+    }
+    out << prefix_text << "\n";
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      out << blocks[i];
+      if (i + 1 < blocks.size()) out << ",";
+      out << "\n";
+    }
+    out << "  " << suffix_text;
+    if (!out.good()) {
+      std::cerr << "MergeBenchmarkJson: write to " << tmp_path
+                << " failed\n";
+      return false;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::cerr << "MergeBenchmarkJson: cannot rename " << tmp_path << " to "
+              << path << "\n";
+    return false;
+  }
+  return true;
+}
 
 }  // namespace bench
 }  // namespace dot

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dot/dot.h"
@@ -68,6 +69,28 @@ std::string Sci(double v);
 
 /// Minutes with one decimal.
 std::string Minutes(double ms);
+
+/// Merges benchmark entries into a google-benchmark-format JSON file —
+/// the mechanism by which plain-main benches (bench_htap_mix) contribute
+/// trajectory points to the same BENCH_optimizer.json the
+/// google-benchmark suite writes. Each element of `entry_blocks` must be
+/// one complete JSON object rendered at 4-space indent (the
+/// google-benchmark layout). If `path` already holds a file with a
+/// "benchmarks" array, entries whose "name" starts with `name_prefix` are
+/// dropped (idempotent re-runs) and the new blocks are appended to the
+/// array; otherwise a fresh file with a minimal context is written.
+/// Returns false (with a note on stderr) when the file exists but cannot
+/// be understood — the trajectory artifact is never clobbered.
+bool MergeBenchmarkJson(const std::string& path,
+                        const std::string& name_prefix,
+                        const std::vector<std::string>& entry_blocks);
+
+/// Renders one google-benchmark-style entry block for MergeBenchmarkJson:
+/// a run named `name` taking `real_time_ms`, with `counters` (label,
+/// value) pairs appended as numeric fields.
+std::string MakeBenchmarkJsonEntry(
+    const std::string& name, double real_time_ms,
+    const std::vector<std::pair<std::string, double>>& counters);
 
 }  // namespace bench
 }  // namespace dot

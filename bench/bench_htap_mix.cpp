@@ -17,9 +17,17 @@
 // Exit status: 0 when at least one ρ produces an optimal layout different
 // from both pure optima (the claim this bench exists to demonstrate),
 // 1 otherwise.
+//
+// `--json[=path]` additionally merges one trajectory entry per sweep point
+// (named HtapMixSweep/...) into the google-benchmark-format JSON file
+// (default BENCH_optimizer.json) — the same perf-trajectory artifact
+// bench_optimizer_perf writes, so the nightly-bench job archives both
+// suites in one file.
 
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -57,7 +65,19 @@ DotResult SolveExact(const Schema& schema, const BoxConfig& box,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_optimizer.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::cerr << "unknown flag " << argv[i] << " (only --json[=path])\n";
+      return 1;
+    }
+  }
+
   // Tight enough that the folded caps bind (an all-HDD layout's mean
   // transaction latency is ~4-5x the all-H-SSD best, above the 1/0.35 ≈
   // 2.9x cap) while leaving the mid-priced layouts — where the two sides'
@@ -116,6 +136,22 @@ int main() {
             bench::Minutes(dss_opt.estimate.elapsed_ms),
             StrPrintf("%lld", dss_opt.layouts_evaluated)});
 
+  std::vector<std::string> json_entries;
+  auto add_json_entry = [&](const std::string& name, const DotResult& r,
+                            double mixed_optimum) {
+    if (json_path.empty()) return;
+    json_entries.push_back(bench::MakeBenchmarkJsonEntry(
+        name, r.optimize_ms,
+        {{"toc_cents_per_1k_tasks", r.toc_cents_per_task * 1e3},
+         {"layouts_per_s",
+          r.optimize_ms > 0 ? r.layouts_evaluated / (r.optimize_ms / 1e3)
+                            : 0.0},
+         {"leaves", static_cast<double>(r.layouts_evaluated)},
+         {"mixed_optimum", mixed_optimum}}));
+  };
+  add_json_entry("HtapMixSweep/pure_oltp", oltp_opt, 0.0);
+  add_json_entry("HtapMixSweep/pure_dss", dss_opt, 0.0);
+
   bool flip_found = false;
   for (double rho : {0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
     HtapConfig config;
@@ -133,6 +169,8 @@ int main() {
     const bool differs_from_both = r.placement != oltp_opt.placement &&
                                    r.placement != dss_opt.placement;
     flip_found = flip_found || differs_from_both;
+    add_json_entry(StrPrintf("HtapMixSweep/rho=%g", rho), r,
+                   differs_from_both ? 1.0 : 0.0);
     t.AddRow({differs_from_both ? "HTAP (mixed optimum)" : "HTAP",
               StrPrintf("%.1f", rho), PlacementString(r.placement),
               StrPrintf("%.3f", r.toc_cents_per_task * 1e3),
@@ -143,6 +181,16 @@ int main() {
               StrPrintf("%lld", r.layouts_evaluated)});
   }
   t.Print(std::cout);
+
+  if (!json_path.empty()) {
+    if (bench::MergeBenchmarkJson(json_path, "HtapMixSweep/",
+                                  json_entries)) {
+      std::cout << "\nmerged " << json_entries.size()
+                << " HtapMixSweep entries into " << json_path << "\n";
+    } else {
+      return 1;
+    }
+  }
 
   if (!flip_found) {
     std::cout << "\nNO mixed optimum found: every HTAP ratio matched a pure "

@@ -30,17 +30,21 @@
 #include "dot/optimizer.h"
 #include "dot/problem.h"
 #include "dot/provisioner.h"
+#include "dot/reprovision.h"
 #include "dot/simple_layouts.h"
 #include "dot/sla.h"
 #include "dot/validator.h"
 #include "exec/executor.h"
+#include "exec/schedule_replay.h"
 #include "io/device_model.h"
 #include "io/microbench.h"
 #include "query/planner.h"
+#include "storage/migration.h"
 #include "storage/pricing.h"
 #include "storage/standard_catalog.h"
 #include "storage/storage_class.h"
 #include "workload/dss_workload.h"
+#include "workload/epoch_schedule.h"
 #include "workload/htap_workload.h"
 #include "workload/oltp_workload.h"
 #include "workload/profiler.h"

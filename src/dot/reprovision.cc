@@ -1,0 +1,439 @@
+#include "dot/reprovision.h"
+
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "dot/bnb_search.h"
+#include "dot/candidate_evaluator.h"
+#include "dot/layout.h"
+#include "dot/optimizer.h"
+
+namespace dot {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// M^N saturating at cap+1 (the guard only needs "exceeds cap").
+long long PowSaturating(int m, int n, long long cap) {
+  long long total = 1;
+  for (int i = 0; i < n; ++i) {
+    if (total > cap / m) return cap + 1;
+    total *= m;
+  }
+  return total;
+}
+
+/// Builds one epoch's single-shot problem; the planner is a driver of the
+/// existing optimizer stack, not a re-implementation of it.
+DotProblem EpochProblem(const Schema* schema, const BoxConfig* box,
+                        const Epoch& epoch, const ReprovisionConfig& config) {
+  DotProblem p;
+  p.schema = schema;
+  p.box = box;
+  p.workload = epoch.workload;
+  p.relative_sla = config.relative_sla;
+  p.cost_model = config.cost_model;
+  p.profiles = epoch.profiles;
+  p.num_threads = config.num_threads;
+  p.use_fast_eval = config.use_fast_eval;
+  return p;
+}
+
+/// Resolves ReprovisionConfig::migration_weight: kAutoMigrationWeight
+/// becomes 1 / (the duration-weighted mean of the epochs' best-case
+/// tasks/hour) — identical arithmetic wherever the weight is resolved, so
+/// Plan and EvaluateSequence always price migration at the same rate.
+double ResolveMigrationWeight(
+    double configured, const EpochSchedule& schedule,
+    const std::vector<std::unique_ptr<DotOptimizer>>& optimizers) {
+  if (configured != kAutoMigrationWeight) return configured;
+  double task_hours = 0.0;
+  for (size_t e = 0; e < schedule.epochs.size(); ++e) {
+    task_hours += schedule.epochs[e].duration_hours *
+                  optimizers[e]->targets().best_case.tasks_per_hour;
+  }
+  return task_hours > 0.0 ? schedule.TotalHours() / task_hours : 0.0;
+}
+
+/// The (toc, placement-lex) final tie-break, extended by the DP value in
+/// front: lower accumulated objective wins, exact ties fall back to the
+/// epoch TOC and then to the lexicographically lowest placement — the
+/// BetterCandidate order, so the one-epoch special case selects exactly
+/// the layout the single-shot searches would.
+bool BetterTerminal(double obj_a, double toc_a,
+                    const std::vector<int>& placement_a, double obj_b,
+                    double toc_b, const std::vector<int>& placement_b) {
+  if (obj_a != obj_b) return obj_a < obj_b;
+  if (toc_a != toc_b) return toc_a < toc_b;
+  return placement_a < placement_b;
+}
+
+/// Fills `plan->steps` and the running totals for a decided layout
+/// sequence — the ONE implementation of the accounting contract
+/// ReprovisionPlan documents. `step_placement(e)` / `step_toc(e)` supply
+/// the sequence; the migration bills and the accumulation order live
+/// here, so Plan and EvaluateSequence cannot drift apart by a ULP.
+void AccumulateSteps(
+    const EpochSchedule& schedule, const std::vector<int>& current_layout,
+    double weight, const MigrationCostModel& migration, const Schema& schema,
+    const BoxConfig& box,
+    const std::function<const std::vector<int>&(int)>& step_placement,
+    const std::function<double(int)>& step_toc, ReprovisionPlan* plan) {
+  const int num_epochs = schedule.NumEpochs();
+  plan->steps.resize(static_cast<size_t>(num_epochs));
+  const std::vector<int>* previous =
+      current_layout.empty() ? nullptr : &current_layout;
+  for (int e = 0; e < num_epochs; ++e) {
+    EpochPlanStep& step = plan->steps[static_cast<size_t>(e)];
+    step.placement = step_placement(e);
+    step.toc_cents_per_task = step_toc(e);
+    step.epoch_objective =
+        step.toc_cents_per_task *
+        schedule.epochs[static_cast<size_t>(e)].duration_hours;
+    if (previous != nullptr) {
+      const MigrationEstimate mig = EstimateMigration(
+          migration, box, schema, *previous, step.placement);
+      step.migration_cents = mig.cents;
+      step.migration_hours = mig.hours;
+      step.objects_moved = mig.objects_moved;
+    }
+    plan->total_objective =
+        (plan->total_objective + weight * step.migration_cents) +
+        step.epoch_objective;
+    plan->total_migration_cents += step.migration_cents;
+    plan->total_migration_hours += step.migration_hours;
+    if (step.objects_moved > 0) plan->num_migrations += 1;
+    previous = &step.placement;
+  }
+}
+
+}  // namespace
+
+ReprovisionPlanner::ReprovisionPlanner(const Schema* schema,
+                                       const BoxConfig* box,
+                                       ReprovisionConfig config)
+    : schema_(schema), box_(box), config_(std::move(config)) {
+  DOT_CHECK(schema_ != nullptr && box_ != nullptr);
+  DOT_CHECK(config_.max_pool_layouts > 0);
+  // A negative weight would turn migration cost into a reward and make
+  // the DP churn layouts to collect it; only the auto sentinel is allowed
+  // below zero.
+  DOT_CHECK(config_.migration_weight == kAutoMigrationWeight ||
+            config_.migration_weight >= 0.0)
+      << "migration_weight must be >= 0 or kAutoMigrationWeight";
+}
+
+ReprovisionPlan ReprovisionPlanner::Plan(
+    const EpochSchedule& schedule,
+    const std::vector<int>& current_layout) const {
+  const double start_ms = NowMs();
+  ReprovisionPlan plan;
+  plan.status = ValidateSchedule(schedule);
+  if (!plan.status.ok()) return plan;
+  const int n = schema_->NumObjects();
+  if (!current_layout.empty() &&
+      static_cast<int>(current_layout.size()) != n) {
+    plan.status = Status::InvalidArgument(
+        "current layout does not place every schema object");
+    return plan;
+  }
+  const int num_epochs = schedule.NumEpochs();
+
+  // Per-epoch estimators: each owns its problem and its targets, derived
+  // exactly as a single-shot run would derive them.
+  std::vector<std::unique_ptr<DotOptimizer>> optimizers;
+  optimizers.reserve(static_cast<size_t>(num_epochs));
+  for (const Epoch& epoch : schedule.epochs) {
+    if (config_.search == EpochSearch::kDot && !config_.exhaustive_pool &&
+        epoch.profiles == nullptr) {
+      plan.status = Status::InvalidArgument(
+          "EpochSearch::kDot needs Epoch::profiles for every epoch");
+      return plan;
+    }
+    optimizers.push_back(std::make_unique<DotOptimizer>(
+        EpochProblem(schema_, box_, epoch, config_)));
+  }
+
+  // --- Candidate pool ---
+  std::vector<std::vector<int>> pool;
+  auto add_candidate = [&pool](const std::vector<int>& placement) {
+    if (placement.empty()) return;
+    for (const std::vector<int>& existing : pool) {
+      if (existing == placement) return;
+    }
+    pool.push_back(placement);
+  };
+  if (config_.exhaustive_pool) {
+    const int m = box_->NumClasses();
+    const long long space = PowSaturating(m, n, config_.max_pool_layouts);
+    if (space > config_.max_pool_layouts) {
+      plan.status = Status::OutOfRange(
+          "exhaustive pool of " + std::to_string(m) + "^" +
+          std::to_string(n) + " layouts exceeds max_pool_layouts");
+      return plan;
+    }
+    pool.reserve(static_cast<size_t>(space));
+    for (long long idx = 0; idx < space; ++idx) {
+      pool.push_back(DecodeLayoutIndex(idx, n, m));
+    }
+  } else {
+    // The stay option first, then each epoch's solo optimum in epoch
+    // order — a deterministic pool that always contains the frozen-layout
+    // and re-optimize-every-epoch baselines as sequences.
+    add_candidate(current_layout);
+    for (int e = 0; e < num_epochs; ++e) {
+      const DotResult solo =
+          config_.search == EpochSearch::kDot
+              ? optimizers[static_cast<size_t>(e)]->Optimize()
+              : ExactSearch(optimizers[static_cast<size_t>(e)]->problem(),
+                            ExactStrategy::kBranchAndBound);
+      plan.layouts_evaluated += solo.layouts_evaluated;
+      if (solo.status.ok()) add_candidate(solo.placement);
+    }
+  }
+  const int k_pool = static_cast<int>(pool.size());
+  plan.pool_size = k_pool;
+
+  // --- Score every pool layout under every epoch, through the one
+  // full-path evaluation kernel both searches commit winners through. The
+  // matrix is filled into distinct slots, so thread count cannot change a
+  // value. Infeasible (capacity or SLA) scores are +inf.
+  std::vector<double> toc(static_cast<size_t>(num_epochs) *
+                              static_cast<size_t>(k_pool),
+                          kInf);
+  {
+    ThreadPool threads(config_.num_threads);
+    threads.ParallelFor(
+        0, static_cast<int64_t>(num_epochs) * k_pool, [&](int64_t flat) {
+          const int e = static_cast<int>(flat / k_pool);
+          const int k = static_cast<int>(flat % k_pool);
+          const CandidateEval eval = CandidateEvaluator::EvaluateOneWith(
+              *optimizers[static_cast<size_t>(e)],
+              Layout(schema_, box_, pool[static_cast<size_t>(k)]));
+          if (eval.feasible) toc[static_cast<size_t>(flat)] = eval.toc;
+        });
+  }
+  plan.layouts_evaluated += static_cast<long long>(num_epochs) * k_pool;
+  auto toc_at = [&](int e, int k) {
+    return toc[static_cast<size_t>(e) * static_cast<size_t>(k_pool) +
+               static_cast<size_t>(k)];
+  };
+
+  // --- Resolve the migration exchange rate (see ReprovisionConfig).
+  const double weight =
+      ResolveMigrationWeight(config_.migration_weight, schedule, optimizers);
+  plan.resolved_migration_weight = weight;
+
+  auto weighted_migration = [&](const std::vector<int>& from,
+                                const std::vector<int>& to) {
+    if (from.empty() || config_.migration.IsZero() || weight == 0.0) {
+      return 0.0;
+    }
+    return weight *
+           EstimateMigration(config_.migration, *box_, *schema_, from, to)
+               .cents;
+  };
+
+  // The pool-pair migration bill is epoch-independent: price each (j, k)
+  // pair once instead of once per epoch transition. The table is skipped
+  // when migration is free, single-epoch, or the exhaustive pool would
+  // make K² large — the DP then prices transitions on the fly (same
+  // function, same bits).
+  const bool free_migration = config_.migration.IsZero() || weight == 0.0;
+  std::vector<double> pair_migration;
+  const bool memoized = !free_migration && num_epochs > 1 &&
+                        static_cast<long long>(k_pool) * k_pool <= (1 << 20);
+  if (memoized) {
+    pair_migration.resize(static_cast<size_t>(k_pool) *
+                          static_cast<size_t>(k_pool));
+    for (int j = 0; j < k_pool; ++j) {
+      for (int k = 0; k < k_pool; ++k) {
+        pair_migration[static_cast<size_t>(j) * static_cast<size_t>(k_pool) +
+                       static_cast<size_t>(k)] =
+            weighted_migration(pool[static_cast<size_t>(j)],
+                               pool[static_cast<size_t>(k)]);
+      }
+    }
+  }
+  auto transition_migration = [&](int j, int k) {
+    if (memoized) {
+      return pair_migration[static_cast<size_t>(j) *
+                                static_cast<size_t>(k_pool) +
+                            static_cast<size_t>(k)];
+    }
+    return weighted_migration(pool[static_cast<size_t>(j)],
+                              pool[static_cast<size_t>(k)]);
+  };
+
+  // --- Exact DP over epochs. dp[k] is the cheapest objective of any pool
+  // sequence ending with layout k; the accounting order is the documented
+  // contract: total = (total + weight·migration) + toc·duration.
+  std::vector<double> dp(static_cast<size_t>(k_pool), kInf);
+  std::vector<std::vector<int>> pred(
+      static_cast<size_t>(num_epochs),
+      std::vector<int>(static_cast<size_t>(k_pool), -1));
+  for (int e = 0; e < num_epochs; ++e) {
+    const double duration =
+        schedule.epochs[static_cast<size_t>(e)].duration_hours;
+    std::vector<double> next(static_cast<size_t>(k_pool), kInf);
+    bool any_feasible = false;
+    for (int k = 0; k < k_pool; ++k) {
+      const double toc_ek = toc_at(e, k);
+      if (toc_ek == kInf) continue;
+      const double epoch_term = toc_ek * duration;
+      if (e == 0) {
+        next[static_cast<size_t>(k)] =
+            (0.0 + weighted_migration(current_layout,
+                                      pool[static_cast<size_t>(k)])) +
+            epoch_term;
+        any_feasible = true;
+        continue;
+      }
+      double best = kInf;
+      int best_j = -1;
+      for (int j = 0; j < k_pool; ++j) {
+        if (dp[static_cast<size_t>(j)] == kInf) continue;
+        const double value =
+            (dp[static_cast<size_t>(j)] + transition_migration(j, k)) +
+            epoch_term;
+        if (value < best) {  // ties keep the earlier (deterministic) j
+          best = value;
+          best_j = j;
+        }
+      }
+      if (best_j >= 0) {
+        next[static_cast<size_t>(k)] = best;
+        pred[static_cast<size_t>(e)][static_cast<size_t>(k)] = best_j;
+        any_feasible = true;
+      }
+    }
+    dp = std::move(next);
+    if (!any_feasible) {
+      plan.status = Status::Infeasible(
+          "no candidate layout satisfies epoch " + std::to_string(e) +
+          (schedule.epochs[static_cast<size_t>(e)].label.empty()
+               ? std::string()
+               : " (" + schedule.epochs[static_cast<size_t>(e)].label + ")") +
+          "'s capacity and SLA constraints");
+      plan.plan_ms = NowMs() - start_ms;
+      return plan;
+    }
+  }
+
+  // --- Pick the terminal layout under the BetterCandidate-compatible
+  // order and backtrack.
+  int best_k = -1;
+  for (int k = 0; k < k_pool; ++k) {
+    if (dp[static_cast<size_t>(k)] == kInf) continue;
+    if (best_k < 0 ||
+        BetterTerminal(dp[static_cast<size_t>(k)], toc_at(num_epochs - 1, k),
+                       pool[static_cast<size_t>(k)],
+                       dp[static_cast<size_t>(best_k)],
+                       toc_at(num_epochs - 1, best_k),
+                       pool[static_cast<size_t>(best_k)])) {
+      best_k = k;
+    }
+  }
+  DOT_CHECK(best_k >= 0);  // any_feasible held for the last epoch
+  std::vector<int> choice(static_cast<size_t>(num_epochs), -1);
+  choice[static_cast<size_t>(num_epochs - 1)] = best_k;
+  for (int e = num_epochs - 1; e > 0; --e) {
+    choice[static_cast<size_t>(e - 1)] =
+        pred[static_cast<size_t>(e)][static_cast<size_t>(choice[
+            static_cast<size_t>(e)])];
+  }
+
+  // --- Fill the steps, re-accumulating the objective in the documented
+  // order (bit-identical to the DP value by construction).
+  AccumulateSteps(
+      schedule, current_layout, weight, config_.migration, *schema_, *box_,
+      [&](int e) -> const std::vector<int>& {
+        return pool[static_cast<size_t>(choice[static_cast<size_t>(e)])];
+      },
+      [&](int e) { return toc_at(e, choice[static_cast<size_t>(e)]); },
+      &plan);
+  plan.plan_ms = NowMs() - start_ms;
+  return plan;
+}
+
+ReprovisionPlan ReprovisionPlanner::EvaluateSequence(
+    const EpochSchedule& schedule,
+    const std::vector<std::vector<int>>& placements,
+    const std::vector<int>& current_layout) const {
+  const double start_ms = NowMs();
+  ReprovisionPlan plan;
+  plan.status = ValidateSchedule(schedule);
+  if (!plan.status.ok()) return plan;
+  if (static_cast<int>(placements.size()) != schedule.NumEpochs()) {
+    plan.status = Status::InvalidArgument(
+        "sequence length does not match the schedule's epoch count");
+    return plan;
+  }
+  const int n = schema_->NumObjects();
+  if (!current_layout.empty() &&
+      static_cast<int>(current_layout.size()) != n) {
+    plan.status = Status::InvalidArgument(
+        "current layout does not place every schema object");
+    return plan;
+  }
+  for (size_t e = 0; e < placements.size(); ++e) {
+    if (static_cast<int>(placements[e].size()) != n) {
+      plan.status = Status::InvalidArgument(
+          "sequence layout for epoch " + std::to_string(e) +
+          " does not place every schema object");
+      return plan;
+    }
+  }
+  const int num_epochs = schedule.NumEpochs();
+
+  // Resolve the weight exactly as Plan does (same targets, same order).
+  std::vector<std::unique_ptr<DotOptimizer>> optimizers;
+  optimizers.reserve(static_cast<size_t>(num_epochs));
+  for (const Epoch& epoch : schedule.epochs) {
+    optimizers.push_back(std::make_unique<DotOptimizer>(
+        EpochProblem(schema_, box_, epoch, config_)));
+  }
+  const double weight =
+      ResolveMigrationWeight(config_.migration_weight, schedule, optimizers);
+  plan.resolved_migration_weight = weight;
+
+  // Score the given sequence through the searches' evaluation kernel; an
+  // infeasible epoch scores +inf and marks the whole sequence.
+  std::vector<double> tocs(static_cast<size_t>(num_epochs), kInf);
+  for (int e = 0; e < num_epochs; ++e) {
+    const CandidateEval eval = CandidateEvaluator::EvaluateOneWith(
+        *optimizers[static_cast<size_t>(e)],
+        Layout(schema_, box_, placements[static_cast<size_t>(e)]));
+    plan.layouts_evaluated += 1;
+    if (eval.feasible) tocs[static_cast<size_t>(e)] = eval.toc;
+    if (!eval.feasible && plan.status.ok()) {
+      plan.status = Status::Infeasible(
+          "sequence layout for epoch " + std::to_string(e) +
+          " violates the epoch's capacity or SLA constraints");
+    }
+  }
+
+  AccumulateSteps(
+      schedule, current_layout, weight, config_.migration, *schema_, *box_,
+      [&](int e) -> const std::vector<int>& {
+        return placements[static_cast<size_t>(e)];
+      },
+      [&](int e) { return tocs[static_cast<size_t>(e)]; }, &plan);
+  plan.plan_ms = NowMs() - start_ms;
+  return plan;
+}
+
+}  // namespace dot

@@ -1,0 +1,174 @@
+#ifndef DOTPROV_DOT_REPROVISION_H_
+#define DOTPROV_DOT_REPROVISION_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "dot/problem.h"
+#include "storage/migration.h"
+#include "storage/pricing.h"
+#include "storage/storage_class.h"
+#include "workload/epoch_schedule.h"
+
+namespace dot {
+
+/// Which per-epoch candidate search seeds the planner's layout pool.
+enum class EpochSearch {
+  /// ExactSearch(kBranchAndBound): each epoch's solo optimum is the true
+  /// optimum of that epoch's §2.5 instance. The default.
+  kExact,
+  /// DotOptimizer::Optimize (Procedure 1): needs Epoch::profiles; the
+  /// everyday heuristic path for instances too large to solve exactly.
+  kDot,
+};
+
+/// Sentinel for ReprovisionConfig::migration_weight: derive the exchange
+/// rate from the schedule itself (see the field comment).
+inline constexpr double kAutoMigrationWeight = -1.0;
+
+/// Knobs of a ReprovisionPlanner run.
+struct ReprovisionConfig {
+  /// Per-epoch relative SLA (each epoch derives its own targets from its
+  /// own best case, exactly as a single-shot run would).
+  double relative_sla = 0.5;
+
+  /// Layout cost model shared by every epoch evaluation.
+  CostModelSpec cost_model;
+
+  /// What moving data costs (storage/migration.h). A zero model makes the
+  /// plan degenerate to per-epoch greedy re-optimization.
+  MigrationCostModel migration;
+
+  /// Exchange rate folding migration cents into the Σ TOC·duration
+  /// objective (cents·hour/task): one migration cent counts as this many
+  /// objective units. kAutoMigrationWeight derives it as 1 / (the
+  /// duration-weighted mean of the epochs' best-case tasks/hour) — a
+  /// migration dollar then competes against the operating dollars one
+  /// epoch-hour spends at reference throughput. 0 makes migration free.
+  double migration_weight = kAutoMigrationWeight;
+
+  /// Candidate search per epoch (ignored when exhaustive_pool is set).
+  EpochSearch search = EpochSearch::kExact;
+
+  /// true: the candidate pool is the *entire* M^N layout space (guarded by
+  /// max_pool_layouts) and the epoch DP is provably optimal over all layout
+  /// sequences — the mode the brute-force equivalence tests pin. false:
+  /// the pool is {current layout} ∪ {each epoch's solo optimum}, which
+  /// keeps the DP exact *over the pool* and guarantees the plan never
+  /// loses to the stay-forever or re-optimize-every-epoch baselines (both
+  /// are pool sequences).
+  bool exhaustive_pool = false;
+
+  /// Guard for exhaustive_pool (the DP is O(E·K²) in the pool size K).
+  long long max_pool_layouts = 20'000;
+
+  /// Execution lanes for the per-epoch searches and the pool evaluation
+  /// (1 = serial, 0 = hardware_concurrency). Results are bit-identical at
+  /// every setting: searches guarantee it, and the pool matrix is filled
+  /// into distinct slots and reduced in fixed order.
+  int num_threads = 1;
+
+  /// Forwarded to the per-epoch searches (dot/problem.h).
+  bool use_fast_eval = true;
+};
+
+/// The layout chosen for one epoch, with its bill.
+struct EpochPlanStep {
+  std::vector<int> placement;
+  double toc_cents_per_task = 0.0;
+  /// TOC · epoch duration, the epoch's objective term (cents·hour/task).
+  double epoch_objective = 0.0;
+  /// Migration from the previous layout (the current layout for step 0;
+  /// zero when the planner was given no current layout). Unweighted cents.
+  double migration_cents = 0.0;
+  double migration_hours = 0.0;
+  int objects_moved = 0;
+};
+
+/// A multi-epoch re-provisioning plan.
+///
+/// Objective accounting contract (shared bit-for-bit by Plan,
+/// EvaluateSequence, and exec/schedule_replay.h):
+///
+///   total = 0
+///   for each epoch e in order:
+///     total = (total + migration_weight · migration_cents_e)
+///             + toc_e · duration_e
+///
+/// — left-to-right, epochs in order, so independently recomputed totals of
+/// the same sequence are bit-identical (floating-point addition is not
+/// associative; a different order would drift by ULPs).
+struct ReprovisionPlan {
+  Status status = Status::OK();
+  std::vector<EpochPlanStep> steps;
+
+  double total_objective = 0.0;
+  double total_migration_cents = 0.0;
+  double total_migration_hours = 0.0;
+  /// Steps whose layout differs from their predecessor's.
+  int num_migrations = 0;
+
+  /// The weight the run actually used (migration_weight, or the auto
+  /// calibration when kAutoMigrationWeight was configured).
+  double resolved_migration_weight = 0.0;
+
+  int pool_size = 0;
+  /// Candidate layouts evaluated: per-epoch search totals plus the
+  /// pool × epoch matrix.
+  long long layouts_evaluated = 0;
+  double plan_ms = 0.0;
+};
+
+/// The stateful epoch planner: refactors the optimizer stack from
+/// "stateless DotProblem → DotResult" to "current layout + EpochSchedule →
+/// per-epoch layout plan", minimizing Σ epoch TOC·duration plus the
+/// (weighted) migration cost between consecutive layouts.
+///
+/// Mechanics: a candidate layout pool is seeded per epoch by the existing
+/// searches (warm-started branch-and-bound, or DOT's Procedure 1), every
+/// pool layout is scored under every epoch through the one full-path
+/// evaluation kernel (CandidateEvaluator::EvaluateOneWith — the same rule
+/// both searches commit winners through), and an exact dynamic program
+/// over epochs picks the cheapest sequence; the migration term enters the
+/// DP transition exactly (per-object, zero for staying — the admissible
+/// floor DESIGN.md §8 argues from).
+///
+/// Special case, pinned by tests: one epoch + zero migration model (or no
+/// current layout) reproduces ExactSearch / Optimize *bit-identically* —
+/// same placement, same TOC, same infeasibility verdicts — because the
+/// pool contains the search's winner, every candidate is scored through
+/// the search's own kernel, and multiplying TOC by the positive duration
+/// is monotone.
+class ReprovisionPlanner {
+ public:
+  /// `schema` and `box` must outlive the planner.
+  ReprovisionPlanner(const Schema* schema, const BoxConfig* box,
+                     ReprovisionConfig config);
+
+  /// Plans layouts for `schedule` starting from `current_layout` (empty =
+  /// greenfield: no epoch-0 migration is charged).
+  ReprovisionPlan Plan(const EpochSchedule& schedule,
+                       const std::vector<int>& current_layout = {}) const;
+
+  /// Prices a fixed layout sequence under exactly the plan objective —
+  /// same evaluation kernel, same accounting order (see ReprovisionPlan).
+  /// The baseline evaluator: bench_reprovision prices the frozen-layout
+  /// and migration-oblivious baselines through this, and the DP-optimality
+  /// tests brute-force sequences through it.
+  ReprovisionPlan EvaluateSequence(
+      const EpochSchedule& schedule,
+      const std::vector<std::vector<int>>& placements,
+      const std::vector<int>& current_layout = {}) const;
+
+  const ReprovisionConfig& config() const { return config_; }
+
+ private:
+  const Schema* schema_;
+  const BoxConfig* box_;
+  ReprovisionConfig config_;
+};
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_REPROVISION_H_

@@ -1,0 +1,59 @@
+#include "exec/schedule_replay.h"
+
+#include "common/check.h"
+#include "dot/layout.h"
+
+namespace dot {
+
+ScheduleReplayResult ReplaySchedule(const EpochSchedule& schedule,
+                                    const ReprovisionPlan& plan,
+                                    const Schema& schema,
+                                    const BoxConfig& box,
+                                    const ReplayConfig& config) {
+  ScheduleReplayResult result;
+  result.status = ValidateSchedule(schedule);
+  if (!result.status.ok()) return result;
+  if (!plan.status.ok()) {
+    result.status = Status::InvalidArgument(
+        "cannot replay a plan whose status is not OK: " +
+        plan.status.ToString());
+    return result;
+  }
+  if (static_cast<int>(plan.steps.size()) != schedule.NumEpochs()) {
+    result.status = Status::InvalidArgument(
+        "plan step count does not match the schedule's epoch count");
+    return result;
+  }
+
+  const int num_epochs = schedule.NumEpochs();
+  result.epochs.resize(static_cast<size_t>(num_epochs));
+  for (int e = 0; e < num_epochs; ++e) {
+    const Epoch& epoch = schedule.epochs[static_cast<size_t>(e)];
+    const EpochPlanStep& step = plan.steps[static_cast<size_t>(e)];
+    EpochReplayRun& run = result.epochs[static_cast<size_t>(e)];
+
+    ExecutorConfig exec_config = config.exec;
+    exec_config.seed = config.exec.seed + static_cast<uint64_t>(e);
+    Executor executor(epoch.workload, exec_config);
+    run.measured = executor.Run(step.placement);
+    DOT_CHECK(run.measured.tasks_per_hour > 0)
+        << "replayed epoch produced zero throughput";
+
+    const double cost_cents_per_hour =
+        Layout(&schema, &box, step.placement)
+            .CostCentsPerHour(config.cost_model);
+    run.toc_cents_per_task = cost_cents_per_hour / run.measured.tasks_per_hour;
+    run.epoch_objective = run.toc_cents_per_task * epoch.duration_hours;
+
+    // Same accounting order as ReprovisionPlan; the migration bill is a
+    // deterministic function of the plan's layout sequence, so the plan's
+    // own per-step cents are reused verbatim.
+    result.total_objective =
+        (result.total_objective +
+         plan.resolved_migration_weight * step.migration_cents) +
+        run.epoch_objective;
+  }
+  return result;
+}
+
+}  // namespace dot

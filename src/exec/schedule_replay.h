@@ -1,0 +1,62 @@
+#ifndef DOTPROV_EXEC_SCHEDULE_REPLAY_H_
+#define DOTPROV_EXEC_SCHEDULE_REPLAY_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "dot/reprovision.h"
+#include "exec/executor.h"
+#include "storage/migration.h"
+#include "storage/pricing.h"
+#include "storage/storage_class.h"
+#include "workload/epoch_schedule.h"
+
+namespace dot {
+
+/// Knobs of one schedule replay.
+struct ReplayConfig {
+  /// Per-epoch test-run knobs. `exec.seed` is the base seed; epoch e runs
+  /// at seed + e so epochs draw independent noise streams while the whole
+  /// replay stays reproducible.
+  ExecutorConfig exec;
+
+  /// Must match the plan's cost model for the estimates to be comparable.
+  CostModelSpec cost_model;
+};
+
+/// One epoch of a replay: what the simulated test run measured.
+struct EpochReplayRun {
+  PerfEstimate measured;
+  /// C(L_e) / measured tasks-per-hour — the measured counterpart of the
+  /// plan step's estimated TOC.
+  double toc_cents_per_task = 0.0;
+  double epoch_objective = 0.0;  ///< measured TOC · epoch duration
+};
+
+/// A replayed schedule: measured per-epoch runs plus the plan objective
+/// recomputed from measurements, under the exact accounting contract
+/// ReprovisionPlan documents (same order, same migration terms — the data
+/// movement is deterministic, so the plan's own migration bill is reused).
+struct ScheduleReplayResult {
+  Status status = Status::OK();
+  std::vector<EpochReplayRun> epochs;
+  double total_objective = 0.0;
+};
+
+/// Replays `plan` epoch by epoch through the simulated Executor — the
+/// multi-epoch analogue of the validation phase (§3, Figure 2): each
+/// epoch's workload runs once on its planned layout (with the configured
+/// noise and io_scale disturbances) and the measured throughput re-prices
+/// the epoch. With zero noise and no io_scale the replayed objective
+/// equals the plan's estimate bit for bit (pinned by exec_replay_test);
+/// the gap between the two under disturbances is exactly what the
+/// validation/refinement loop exists to catch.
+ScheduleReplayResult ReplaySchedule(const EpochSchedule& schedule,
+                                    const ReprovisionPlan& plan,
+                                    const Schema& schema,
+                                    const BoxConfig& box,
+                                    const ReplayConfig& config);
+
+}  // namespace dot
+
+#endif  // DOTPROV_EXEC_SCHEDULE_REPLAY_H_

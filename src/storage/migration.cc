@@ -1,0 +1,81 @@
+#include "storage/migration.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace dot {
+
+namespace {
+
+/// GB in one 8 KiB I/O unit — the page size the whole model assumes
+/// (catalog/db_object.h).
+constexpr double kUnitGb = 8192.0 / (1024.0 * 1024.0 * 1024.0);
+
+}  // namespace
+
+double ClassStreamGbPerHour(const StorageClass& cls, IoType type,
+                            double concurrency) {
+  DOT_CHECK(concurrency >= 1.0);
+  const double latency_ms = cls.device().LatencyMs(type, concurrency);
+  DOT_CHECK(latency_ms > 0.0) << "device '" << cls.name()
+                              << "' has no calibrated latency for streaming";
+  return kUnitGb * (kMsPerHour / latency_ms);
+}
+
+double ObjectMoveHours(const BoxConfig& box, double size_gb, int from_class,
+                       int to_class, double copy_concurrency) {
+  DOT_CHECK(from_class >= 0 && from_class < box.NumClasses());
+  DOT_CHECK(to_class >= 0 && to_class < box.NumClasses());
+  DOT_CHECK(size_gb >= 0.0);
+  if (from_class == to_class) return 0.0;
+  const double read_gb_per_hour = ClassStreamGbPerHour(
+      box.classes[static_cast<size_t>(from_class)], IoType::kSeqRead,
+      copy_concurrency);
+  const double write_gb_per_hour = ClassStreamGbPerHour(
+      box.classes[static_cast<size_t>(to_class)], IoType::kSeqWrite,
+      copy_concurrency);
+  return size_gb / std::min(read_gb_per_hour, write_gb_per_hour);
+}
+
+double ObjectMigrationCostCents(const MigrationCostModel& model,
+                                const BoxConfig& box, double size_gb,
+                                int from_class, int to_class) {
+  if (from_class == to_class) return 0.0;
+  const double hours = ObjectMoveHours(box, size_gb, from_class, to_class,
+                                       model.copy_concurrency);
+  return model.transfer_price_cents_per_gb * size_gb +
+         model.downtime_price_cents_per_hour * hours;
+}
+
+MigrationEstimate EstimateMigration(const MigrationCostModel& model,
+                                    const BoxConfig& box,
+                                    const Schema& schema,
+                                    const std::vector<int>& from,
+                                    const std::vector<int>& to) {
+  const int n = schema.NumObjects();
+  DOT_CHECK(static_cast<int>(from.size()) == n &&
+            static_cast<int>(to.size()) == n)
+      << "migration endpoints must place every schema object";
+  MigrationEstimate est;
+  for (int o = 0; o < n; ++o) {
+    const int a = from[static_cast<size_t>(o)];
+    const int b = to[static_cast<size_t>(o)];
+    if (a == b) continue;
+    const double size_gb = schema.object(o).size_gb;
+    // One window computation per move; the cents formula is exactly
+    // ObjectMigrationCostCents's, sharing the hours instead of re-deriving
+    // the device bandwidths.
+    const double hours =
+        ObjectMoveHours(box, size_gb, a, b, model.copy_concurrency);
+    est.cents += model.transfer_price_cents_per_gb * size_gb +
+                 model.downtime_price_cents_per_hour * hours;
+    est.hours += hours;
+    est.gb_moved += size_gb;
+    est.objects_moved += 1;
+  }
+  return est;
+}
+
+}  // namespace dot

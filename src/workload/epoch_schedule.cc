@@ -1,0 +1,44 @@
+#include "workload/epoch_schedule.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dot {
+
+double EpochSchedule::TotalHours() const {
+  double total = 0.0;
+  for (const Epoch& e : epochs) total += e.duration_hours;
+  return total;
+}
+
+EpochSchedule& EpochSchedule::Add(const WorkloadModel* workload,
+                                  double duration_hours, std::string label,
+                                  const WorkloadProfiles* profiles) {
+  Epoch e;
+  e.workload = workload;
+  e.duration_hours = duration_hours;
+  e.profiles = profiles;
+  e.label = std::move(label);
+  epochs.push_back(std::move(e));
+  return *this;
+}
+
+Status ValidateSchedule(const EpochSchedule& schedule) {
+  if (schedule.epochs.empty()) {
+    return Status::InvalidArgument("schedule has no epochs");
+  }
+  for (size_t i = 0; i < schedule.epochs.size(); ++i) {
+    const Epoch& e = schedule.epochs[i];
+    if (e.workload == nullptr) {
+      return Status::InvalidArgument("epoch " + std::to_string(i) +
+                                     " has no workload");
+    }
+    if (!(e.duration_hours > 0.0) || !std::isfinite(e.duration_hours)) {
+      return Status::InvalidArgument("epoch " + std::to_string(i) +
+                                     " has a non-positive duration");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dot

@@ -1,0 +1,51 @@
+#ifndef DOTPROV_WORKLOAD_EPOCH_SCHEDULE_H_
+#define DOTPROV_WORKLOAD_EPOCH_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/profiler.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+/// One planning epoch: a workload that holds steady for `duration_hours`.
+/// The workload is any WorkloadModel — OLTP, DSS, or HTAP — reused
+/// unchanged; what varies across a diurnal cycle is *which* model (or
+/// which HTAP mix ratio ρ) each epoch holds. `bench_htap_mix` shows the
+/// optimal layout changes with ρ, which is exactly why a schedule of
+/// epochs needs a planner rather than one static DOT run.
+struct Epoch {
+  const WorkloadModel* workload = nullptr;  ///< must outlive the schedule
+  double duration_hours = 1.0;
+
+  /// Optional profiles for the DOT-heuristic candidate search
+  /// (EpochSearch::kDot); the exact per-epoch search needs none.
+  const WorkloadProfiles* profiles = nullptr;
+
+  std::string label;  ///< report label, e.g. "night rho=32"
+};
+
+/// A drift pattern the planner provisions across: epochs in time order.
+/// Closing a diurnal cycle (charging the migration back to the first
+/// epoch's layout) is the caller's choice — append the first epoch again.
+struct EpochSchedule {
+  std::vector<Epoch> epochs;
+
+  int NumEpochs() const { return static_cast<int>(epochs.size()); }
+  double TotalHours() const;
+
+  /// Appends one epoch; returns *this for chaining.
+  EpochSchedule& Add(const WorkloadModel* workload, double duration_hours,
+                     std::string label = std::string(),
+                     const WorkloadProfiles* profiles = nullptr);
+};
+
+/// OK iff the schedule is non-empty and every epoch has a workload and a
+/// positive, finite duration.
+Status ValidateSchedule(const EpochSchedule& schedule);
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_EPOCH_SCHEDULE_H_

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/tpcc_schema.h"
 #include "catalog/tpch_schema.h"
+#include "common/units.h"
 #include "storage/standard_catalog.h"
 #include "workload/dss_workload.h"
+#include "workload/htap_workload.h"
 #include "workload/tpch_queries.h"
 
 namespace dot {
@@ -78,6 +81,71 @@ TEST_F(ExecutorTest, IoScaleInjectionSlowsMeasurement) {
   const int li = schema_.FindObject("lineitem");
   EXPECT_NEAR(run.io_by_object[li].Total(),
               4.0 * est.io_by_object[li].Total(), 1e-6);
+}
+
+// Regression for the PR 4 executor bugfix: a jittered kPerQueryResponseTime
+// run must rederive its composed scalars through the *model's*
+// RederiveFromUnitTimes hook, not the DSS sequence convention. For HTAP the
+// two unit-time entries are folded per-side times, so "elapsed = Σ entries,
+// tasks = entries/elapsed-hour" is simply wrong arithmetic for them.
+TEST(ExecutorHtapRederiveTest, JitteredHtapRunRederivesComposedScalars) {
+  Schema full = MakeTpccSchema(300);
+  Schema schema = full.Subset({"stock", "pk_stock", "order_line",
+                               "pk_order_line", "customer", "pk_customer",
+                               "orders", "pk_orders"});
+  BoxConfig box = MakeBox2();
+  HtapBundle bundle = MakeChbenchHtapWorkload(&schema, &box, HtapConfig{});
+
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.08;
+  cfg.seed = 23;
+  Executor exec(bundle.htap.get(), cfg);
+  const auto placement = UniformPlacement(schema.NumObjects(), 1);
+  const PerfEstimate run = exec.Run(placement);
+  ASSERT_EQ(run.unit_times_ms.size(), 2u);
+
+  // The composed scalars must be exactly what the HTAP composition derives
+  // from the two jittered folded times...
+  const OltpWorkloadModel::Throughput tp =
+      bundle.oltp->ThroughputFromMeanLatency(
+          run.unit_times_ms[static_cast<size_t>(kHtapOltpEntry)]);
+  EXPECT_DOUBLE_EQ(run.tpmc, tp.tpmc);
+  EXPECT_DOUBLE_EQ(
+      run.tasks_per_hour,
+      tp.tasks_per_hour +
+          bundle.htap->AnalyticsTasksPerHour(
+              run.unit_times_ms[static_cast<size_t>(kHtapDssEntry)]));
+  // ...with elapsed_ms still the OLTP measurement period, not a "sequence
+  // total" of the two folded entries.
+  EXPECT_DOUBLE_EQ(run.elapsed_ms, bundle.oltp->measurement_period_ms());
+
+  // And the DSS convention's answers differ from the correct ones on this
+  // estimate — the regression would be invisible otherwise.
+  const double entry_sum =
+      run.unit_times_ms[0] + run.unit_times_ms[1];
+  EXPECT_NE(run.elapsed_ms, entry_sum);
+  EXPECT_NE(run.tasks_per_hour, 2.0 / (entry_sum / kMsPerHour));
+}
+
+// The DSS default convention is itself a contract: jittered response-time
+// runs keep elapsed = Σ entries and tasks/hour = entries per elapsed hour.
+TEST(ExecutorDssRederiveTest, JitteredDssRunKeepsSequenceConvention) {
+  Schema schema = MakeTpchSchema(20.0);
+  BoxConfig box = MakeBox1();
+  DssWorkloadModel workload("TPC-H", &schema, &box, MakeTpchTemplates(),
+                            RepeatSequence(22, 1), PlannerConfig{});
+  ExecutorConfig cfg;
+  cfg.noise_cv = 0.1;
+  cfg.seed = 31;
+  Executor exec(&workload, cfg);
+  const PerfEstimate run =
+      exec.Run(UniformPlacement(schema.NumObjects(), 2));
+  double entry_sum = 0.0;
+  for (double t : run.unit_times_ms) entry_sum += t;
+  EXPECT_DOUBLE_EQ(run.elapsed_ms, entry_sum);
+  EXPECT_DOUBLE_EQ(run.tasks_per_hour,
+                   static_cast<double>(run.unit_times_ms.size()) /
+                       (run.elapsed_ms / kMsPerHour));
 }
 
 }  // namespace

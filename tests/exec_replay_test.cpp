@@ -1,0 +1,147 @@
+#include "exec/schedule_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dot/reprovision.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+/// Two-epoch drift over one small schema: epoch 0 scans t0, epoch 1 point-
+/// reads everything.
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() : box_(MakeBox1()) {
+    schema_.AddTable("t0", 3e6, 120);
+    schema_.AddIndex("t0_pk", 0, 8);
+    schema_.AddTable("t1", 1e6, 80);
+    schema_.AddIndex("t1_pk", 2, 8);
+    for (int e = 0; e < 2; ++e) {
+      std::vector<QuerySpec> templates;
+      for (int i = 0; i < 2; ++i) {
+        QuerySpec q;
+        q.name = "q" + std::to_string(i);
+        RelationAccess ra;
+        ra.table = "t" + std::to_string(i);
+        if (e == 0 && i == 0) {
+          ra.selectivity = 1.0;
+          ra.index_sargable = false;
+        } else {
+          ra.selectivity = 0.001;
+          ra.index_sargable = true;
+        }
+        q.relations = {ra};
+        templates.push_back(std::move(q));
+      }
+      workloads_.push_back(std::make_unique<DssWorkloadModel>(
+          "w" + std::to_string(e), &schema_, &box_, std::move(templates),
+          RepeatSequence(2, 2), PlannerConfig{}));
+    }
+    schedule_.Add(workloads_[0].get(), 9.0, "scan-heavy");
+    schedule_.Add(workloads_[1].get(), 15.0, "point-reads");
+  }
+
+  ReprovisionPlan MakePlan() const {
+    ReprovisionConfig config;
+    config.relative_sla = 0.4;
+    config.migration.transfer_price_cents_per_gb = 10.0;
+    config.migration.downtime_price_cents_per_hour = 500.0;
+    ReprovisionPlanner planner(&schema_, &box_, config);
+    return planner.Plan(schedule_, std::vector<int>{0, 0, 0, 0});
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  std::vector<std::unique_ptr<DssWorkloadModel>> workloads_;
+  EpochSchedule schedule_;
+};
+
+TEST_F(ReplayTest, NoiselessReplayReproducesThePlanBitForBit) {
+  const ReprovisionPlan plan = MakePlan();
+  ASSERT_TRUE(plan.status.ok()) << plan.status.ToString();
+
+  ReplayConfig config;
+  config.exec.noise_cv = 0.0;
+  const ScheduleReplayResult replay =
+      ReplaySchedule(schedule_, plan, schema_, box_, config);
+  ASSERT_TRUE(replay.status.ok()) << replay.status.ToString();
+
+  ASSERT_EQ(replay.epochs.size(), plan.steps.size());
+  for (size_t e = 0; e < plan.steps.size(); ++e) {
+    EXPECT_EQ(replay.epochs[e].toc_cents_per_task,
+              plan.steps[e].toc_cents_per_task)
+        << "epoch " << e;
+    EXPECT_EQ(replay.epochs[e].epoch_objective, plan.steps[e].epoch_objective)
+        << "epoch " << e;
+  }
+  // The whole estimated objective is validated by simulation, not just the
+  // per-epoch terms: same kernels, same accounting order.
+  EXPECT_EQ(replay.total_objective, plan.total_objective);
+}
+
+TEST_F(ReplayTest, NoisyReplayJittersButStaysNearTheEstimate) {
+  const ReprovisionPlan plan = MakePlan();
+  ASSERT_TRUE(plan.status.ok());
+
+  ReplayConfig config;
+  config.exec.noise_cv = 0.05;
+  config.exec.seed = 17;
+  const ScheduleReplayResult replay =
+      ReplaySchedule(schedule_, plan, schema_, box_, config);
+  ASSERT_TRUE(replay.status.ok());
+
+  EXPECT_NE(replay.total_objective, plan.total_objective);
+  EXPECT_NEAR(replay.total_objective, plan.total_objective,
+              0.25 * plan.total_objective);
+
+  // Same seed => same replay; it is a simulation, not a dice roll.
+  const ScheduleReplayResult again =
+      ReplaySchedule(schedule_, plan, schema_, box_, config);
+  EXPECT_EQ(again.total_objective, replay.total_objective);
+}
+
+TEST_F(ReplayTest, EpochsDrawIndependentNoiseStreams) {
+  // Two epochs with the same workload and the same layout: if both epochs
+  // replayed the same noise stream their measurements would coincide.
+  EpochSchedule twice;
+  twice.Add(workloads_[1].get(), 5.0).Add(workloads_[1].get(), 5.0);
+
+  ReprovisionConfig config;
+  config.relative_sla = 0.4;
+  ReprovisionPlanner planner(&schema_, &box_, config);
+  const ReprovisionPlan plan = planner.Plan(twice);
+  ASSERT_TRUE(plan.status.ok());
+  ASSERT_EQ(plan.steps[0].placement, plan.steps[1].placement);
+
+  ReplayConfig replay_config;
+  replay_config.exec.noise_cv = 0.1;
+  const ScheduleReplayResult replay =
+      ReplaySchedule(twice, plan, schema_, box_, replay_config);
+  ASSERT_TRUE(replay.status.ok());
+  EXPECT_NE(replay.epochs[0].measured.elapsed_ms,
+            replay.epochs[1].measured.elapsed_ms);
+}
+
+TEST_F(ReplayTest, RefusesToReplayABrokenPlan) {
+  ReprovisionPlan broken;
+  broken.status = Status::Infeasible("nope");
+  ReplayConfig config;
+  EXPECT_EQ(ReplaySchedule(schedule_, broken, schema_, box_, config)
+                .status.code(),
+            StatusCode::kInvalidArgument);
+
+  ReprovisionPlan wrong_length;  // OK status but no steps
+  EXPECT_EQ(ReplaySchedule(schedule_, wrong_length, schema_, box_, config)
+                .status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dot

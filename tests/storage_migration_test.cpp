@@ -1,0 +1,108 @@
+#include "storage/migration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/standard_catalog.h"
+
+namespace dot {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() : box_(MakeBox2()) {
+    schema_.AddTable("t0", 1e6, 100);
+    schema_.AddIndex("t0_pk", 0, 8);
+    schema_.AddTable("t1", 5e6, 200);
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+};
+
+TEST_F(MigrationTest, ZeroModelIsZeroAndStayingIsFree) {
+  MigrationCostModel model;
+  EXPECT_TRUE(model.IsZero());
+  model.transfer_price_cents_per_gb = 10.0;
+  EXPECT_FALSE(model.IsZero());
+
+  // Staying on the same class costs exactly zero — the admissibility hook.
+  EXPECT_EQ(ObjectMigrationCostCents(model, box_, 123.0, 1, 1), 0.0);
+  EXPECT_EQ(ObjectMoveHours(box_, 123.0, 2, 2, 1.0), 0.0);
+
+  const auto placement = std::vector<int>{0, 1, 2};
+  const MigrationEstimate est =
+      EstimateMigration(model, box_, schema_, placement, placement);
+  EXPECT_EQ(est.cents, 0.0);
+  EXPECT_EQ(est.hours, 0.0);
+  EXPECT_EQ(est.objects_moved, 0);
+}
+
+TEST_F(MigrationTest, StreamBandwidthIsPositiveAndFollowsTheDeviceModel) {
+  for (const StorageClass& cls : box_.classes) {
+    const double read = ClassStreamGbPerHour(cls, IoType::kSeqRead, 1.0);
+    const double write = ClassStreamGbPerHour(cls, IoType::kSeqWrite, 1.0);
+    EXPECT_GT(read, 0.0) << cls.name();
+    EXPECT_GT(write, 0.0) << cls.name();
+    // GB/hour is (8 KiB / latency) by construction.
+    const double unit_gb = 8192.0 / (1024.0 * 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(
+        read, unit_gb * 3600.0 * 1000.0 /
+                  cls.device().LatencyMs(IoType::kSeqRead, 1.0));
+  }
+}
+
+TEST_F(MigrationTest, MoveWindowIsTheSlowerOfDrainAndFill) {
+  const double gb = 64.0;
+  const double hours = ObjectMoveHours(box_, gb, 0, 2, 1.0);
+  const double read_bw =
+      ClassStreamGbPerHour(box_.classes[0], IoType::kSeqRead, 1.0);
+  const double write_bw =
+      ClassStreamGbPerHour(box_.classes[2], IoType::kSeqWrite, 1.0);
+  EXPECT_DOUBLE_EQ(hours, gb / std::min(read_bw, write_bw));
+  // Twice the data takes twice the window.
+  EXPECT_DOUBLE_EQ(ObjectMoveHours(box_, 2 * gb, 0, 2, 1.0), 2 * hours);
+}
+
+TEST_F(MigrationTest, CostCombinesTransferPriceAndPricedWindow) {
+  MigrationCostModel model;
+  model.transfer_price_cents_per_gb = 5.0;
+  model.downtime_price_cents_per_hour = 1000.0;
+  const double gb = 10.0;
+  const double hours = ObjectMoveHours(box_, gb, 1, 0, 1.0);
+  EXPECT_DOUBLE_EQ(ObjectMigrationCostCents(model, box_, gb, 1, 0),
+                   5.0 * gb + 1000.0 * hours);
+
+  // Transfer-only pricing scales linearly in the moved volume.
+  MigrationCostModel transfer_only;
+  transfer_only.transfer_price_cents_per_gb = 7.0;
+  EXPECT_DOUBLE_EQ(ObjectMigrationCostCents(transfer_only, box_, 3.0, 0, 2),
+                   3.0 * ObjectMigrationCostCents(transfer_only, box_, 1.0,
+                                                  0, 2));
+}
+
+TEST_F(MigrationTest, LayoutBillSumsExactlyTheMovedObjects) {
+  MigrationCostModel model;
+  model.transfer_price_cents_per_gb = 2.0;
+  model.downtime_price_cents_per_hour = 500.0;
+
+  const std::vector<int> from{0, 0, 1};
+  const std::vector<int> to{2, 0, 0};  // t0 moves 0->2, t1 moves 1->0
+  const MigrationEstimate est =
+      EstimateMigration(model, box_, schema_, from, to);
+  EXPECT_EQ(est.objects_moved, 2);
+  EXPECT_DOUBLE_EQ(est.gb_moved,
+                   schema_.object(0).size_gb + schema_.object(2).size_gb);
+  const double expected_cents =
+      ObjectMigrationCostCents(model, box_, schema_.object(0).size_gb, 0, 2) +
+      ObjectMigrationCostCents(model, box_, schema_.object(2).size_gb, 1, 0);
+  EXPECT_DOUBLE_EQ(est.cents, expected_cents);
+  EXPECT_GT(est.cents, 0.0);
+  EXPECT_GT(est.hours, 0.0);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,57 @@
+#include "workload/epoch_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpch_schema.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+class EpochScheduleTest : public ::testing::Test {
+ protected:
+  EpochScheduleTest()
+      : schema_(MakeTpchSchema(1.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H", &schema_, &box_, MakeTpchTemplates(),
+                  RepeatSequence(22, 1), PlannerConfig{}) {}
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+};
+
+TEST_F(EpochScheduleTest, AddChainsAndTotalsDurations) {
+  EpochSchedule schedule;
+  schedule.Add(&workload_, 8.0, "day").Add(&workload_, 16.0, "night");
+  ASSERT_EQ(schedule.NumEpochs(), 2);
+  EXPECT_DOUBLE_EQ(schedule.TotalHours(), 24.0);
+  EXPECT_EQ(schedule.epochs[0].label, "day");
+  EXPECT_EQ(schedule.epochs[1].label, "night");
+  EXPECT_EQ(schedule.epochs[0].workload, &workload_);
+  EXPECT_TRUE(ValidateSchedule(schedule).ok());
+}
+
+TEST_F(EpochScheduleTest, ValidationRejectsDegenerateSchedules) {
+  EpochSchedule empty;
+  EXPECT_EQ(ValidateSchedule(empty).code(), StatusCode::kInvalidArgument);
+
+  EpochSchedule no_workload;
+  no_workload.Add(nullptr, 1.0);
+  EXPECT_EQ(ValidateSchedule(no_workload).code(),
+            StatusCode::kInvalidArgument);
+
+  EpochSchedule zero_duration;
+  zero_duration.Add(&workload_, 0.0);
+  EXPECT_EQ(ValidateSchedule(zero_duration).code(),
+            StatusCode::kInvalidArgument);
+
+  EpochSchedule negative;
+  negative.Add(&workload_, -2.0);
+  EXPECT_EQ(ValidateSchedule(negative).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dot
