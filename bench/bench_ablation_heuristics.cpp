@@ -51,16 +51,16 @@ int main() {
     add("full DOT", DotOptimizer(base).Optimize());
 
     DotProblem literal = base;
-    literal.acceptance = MoveAcceptance::kAnyFeasible;
-    literal.max_sweeps = 1;
+    literal.options.acceptance = MoveAcceptance::kAnyFeasible;
+    literal.options.max_sweeps = 1;
     add("literal Procedure 1", DotOptimizer(literal).Optimize());
 
     DotProblem ungrouped = base;
-    ungrouped.group_objects = false;
+    ungrouped.options.group_objects = false;
     add("no object grouping", DotOptimizer(ungrouped).Optimize());
 
     DotProblem one_sweep = base;
-    one_sweep.max_sweeps = 1;
+    one_sweep.options.max_sweeps = 1;
     add("single sweep", DotOptimizer(one_sweep).Optimize());
 
     // OA evaluated under the same targets.
@@ -101,11 +101,11 @@ int main() {
     };
     add("full DOT", DotOptimizer(base).Optimize());
     DotProblem literal = base;
-    literal.acceptance = MoveAcceptance::kAnyFeasible;
-    literal.max_sweeps = 1;
+    literal.options.acceptance = MoveAcceptance::kAnyFeasible;
+    literal.options.max_sweeps = 1;
     add("literal Procedure 1", DotOptimizer(literal).Optimize());
     DotProblem ungrouped = base;
-    ungrouped.group_objects = false;
+    ungrouped.options.group_objects = false;
     add("no object grouping", DotOptimizer(ungrouped).Optimize());
 
     std::cout << "\n--- " << inst->box().name << " ---\n";

@@ -45,7 +45,7 @@ void RunSweep(
     problem.workload = workload.get();
     problem.relative_sla = 0.25;
     problem.profiles = &profiles;
-    problem.num_threads = 0;
+    problem.options.num_threads = 0;
 
     // The paper's relax-and-repeat loop: lower the SLA until the exact
     // search (the ground truth) finds a feasible solution, then run both

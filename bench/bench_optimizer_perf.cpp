@@ -110,7 +110,7 @@ struct SearchCounters {
 void BM_DotOptimize(benchmark::State& state) {
   SyntheticInstance inst(static_cast<int>(state.range(0)));
   DotProblem problem = inst.Problem();
-  problem.num_threads = static_cast<int>(state.range(1));
+  problem.options.num_threads = static_cast<int>(state.range(1));
   SearchCounters counters;
   for (auto _ : state) {
     DotResult r = DotOptimizer(problem).Optimize();
@@ -128,7 +128,7 @@ BENCHMARK(BM_DotOptimize)
 void BM_ExhaustiveSearch(benchmark::State& state) {
   SyntheticInstance inst(static_cast<int>(state.range(0)));
   DotProblem problem = inst.Problem();
-  problem.num_threads = static_cast<int>(state.range(1));
+  problem.options.num_threads = static_cast<int>(state.range(1));
   SearchCounters counters;
   for (auto _ : state) {
     DotResult r = ExhaustiveSearch(problem);
@@ -155,7 +155,7 @@ BENCHMARK(BM_ExhaustiveSearch)
 void BM_BnbExactSearch(benchmark::State& state) {
   SyntheticInstance inst(static_cast<int>(state.range(0)));
   DotProblem problem = inst.Problem();
-  problem.num_threads = static_cast<int>(state.range(1));
+  problem.options.num_threads = static_cast<int>(state.range(1));
   SearchCounters counters;
   for (auto _ : state) {
     DotResult r = ExactSearch(problem, ExactStrategy::kBranchAndBound);
@@ -185,7 +185,7 @@ void BM_BnbTpccFull(benchmark::State& state) {
   problem.box = &box;
   problem.workload = workload.get();
   problem.relative_sla = 0.25;
-  problem.num_threads = static_cast<int>(state.range(0));
+  problem.options.num_threads = static_cast<int>(state.range(0));
   SearchCounters counters;
   for (auto _ : state) {
     DotResult r = ExactSearch(problem, ExactStrategy::kBranchAndBound);
@@ -214,7 +214,7 @@ void BM_HtapBnbExactSearch(benchmark::State& state) {
   problem.box = &box;
   problem.workload = bundle.htap.get();
   problem.relative_sla = 0.35;
-  problem.num_threads = static_cast<int>(state.range(0));
+  problem.options.num_threads = static_cast<int>(state.range(0));
   SearchCounters counters;
   for (auto _ : state) {
     DotResult r = ExactSearch(problem, ExactStrategy::kBranchAndBound);
@@ -250,7 +250,7 @@ void BM_HtapDotOptimize(benchmark::State& state) {
   problem.workload = bundle.htap.get();
   problem.relative_sla = 0.35;
   problem.profiles = &profiles;
-  problem.num_threads = static_cast<int>(state.range(0));
+  problem.options.num_threads = static_cast<int>(state.range(0));
   SearchCounters counters;
   for (auto _ : state) {
     DotResult r = DotOptimizer(problem).Optimize();

@@ -103,7 +103,7 @@ int main() {
       p.box = &box;
       p.workload = schedule.epochs[e].workload;
       p.relative_sla = relative_sla;
-      p.num_threads = 0;
+      p.options.num_threads = 0;
       const DotResult r = ExactSearch(p, ExactStrategy::kBranchAndBound);
       if (!r.status.ok()) {
         all_ok = false;
@@ -164,7 +164,7 @@ int main() {
     config.migration = base_migration;
     config.migration.transfer_price_cents_per_gb *= scale;
     config.migration.downtime_price_cents_per_hour *= scale;
-    config.num_threads = 0;
+    config.options.num_threads = 0;
     ReprovisionPlanner planner(&schema, &box, config);
 
     const ReprovisionPlan plan = planner.Plan(schedule, current);

@@ -46,12 +46,20 @@ int main() {
   problem.relative_sla = 0.5;
   problem.profiles = &profiles;
 
-  dot::DotOptimizer optimizer(problem);
-  dot::DotResult result = optimizer.Optimize();
-  if (!result.status.ok()) {
-    std::printf("DOT: %s\n", result.status.ToString().c_str());
+  //    The search runs through the unified dot::Solve facade (dot/solve.h):
+  //    one entry point over the heuristic optimizer, the exact searches,
+  //    and the epoch planner — pick the engine with a SolveSpec.
+  dot::SolveSpec spec;
+  spec.method = dot::SolveMethod::kDotHeuristic;
+  const dot::SolveResult solved = dot::Solve(problem, spec);
+  if (!solved.status.ok()) {
+    std::printf("DOT: %s\n", solved.status.ToString().c_str());
     return 1;
   }
+  const dot::DotResult& result = solved.dot;
+
+  // The estimator, for pricing the comparison layout below.
+  dot::DotOptimizer optimizer(problem);
 
   dot::Layout layout(&schema, &box, result.placement);
   std::printf("\nDOT layout (relative SLA 0.5), %lld layouts evaluated in"

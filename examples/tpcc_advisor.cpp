@@ -77,10 +77,18 @@ int main(int argc, char** argv) {
   problem.relative_sla = args.sla;
   problem.profiles = &profiles;
 
-  // The relax-and-retry loop from Figure 2: under a tight capacity cap the
-  // requested SLA may be unreachable.
-  DotResult r = OptimizeWithRelaxation(problem, /*relax_factor=*/0.95,
-                                       /*min_sla=*/0.01);
+  // The relax-and-retry loop from Figure 2, driven through the unified
+  // dot::Solve facade: under a tight capacity cap the requested SLA may be
+  // unreachable, so relax by 5% and re-solve until feasible (or the 0.01
+  // floor is hit — the OptimizeWithRelaxation protocol, spelled out).
+  SolveSpec spec;
+  spec.method = SolveMethod::kDotHeuristic;
+  SolveResult solved = Solve(problem, spec);
+  while (!solved.status.ok() && problem.relative_sla * 0.95 >= 0.01) {
+    problem.relative_sla *= 0.95;
+    solved = Solve(problem, spec);
+  }
+  DotResult r = solved.dot;
   if (!r.status.ok()) {
     std::printf("infeasible even after relaxation: %s\n",
                 r.status.ToString().c_str());

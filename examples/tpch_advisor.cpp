@@ -99,13 +99,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  DotOptimizer optimizer(problem);
-  DotResult r = optimizer.Optimize();
-  if (!r.status.ok()) {
+  SolveSpec spec;
+  spec.method = SolveMethod::kDotHeuristic;
+  const SolveResult solved = Solve(problem, spec);
+  if (!solved.status.ok()) {
     std::printf("infeasible: %s\n(lower --sla and retry)\n",
-                r.status.ToString().c_str());
+                solved.status.ToString().c_str());
     return 1;
   }
+  const DotResult& r = solved.dot;
 
   Layout layout(&schema, &box, r.placement);
   std::printf("\nRecommended layout (%lld candidates in %.1f ms):\n%s",
@@ -118,7 +120,7 @@ int main(int argc, char** argv) {
               r.targets.best_case.elapsed_ms / 60000.0);
   std::printf("TOC:          %.5f cents/query\n", r.toc_cents_per_task);
 
-  const double toc_hssd = optimizer.EstimateToc(
+  const double toc_hssd = DotOptimizer(problem).EstimateToc(
       UniformPlacement(schema.NumObjects(), box.MostExpensiveClass()),
       nullptr);
   std::printf("saving vs All H-SSD: %.2fx\n",

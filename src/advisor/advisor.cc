@@ -1,0 +1,218 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "dot/sla.h"
+
+namespace dot {
+
+Advisor::Advisor(const DotProblem& problem, AdvisorConfig config)
+    : problem_(problem),
+      config_(std::move(config)),
+      detector_(config_.drift) {
+  DOT_CHECK(problem_.schema != nullptr && problem_.box != nullptr &&
+            problem_.workload != nullptr);
+  DOT_CHECK(config_.replan_method != SolveMethod::kEpochPlan)
+      << "the advisor is the stateful loop; re-plans are single-shot";
+  DOT_CHECK(config_.payback_horizon_hours >= 0.0);
+  DOT_CHECK(config_.cooldown_windows >= 0);
+  DOT_CHECK(config_.replan_interval_windows >= 0);
+  DOT_CHECK(config_.max_pool >= 1);
+  for (const WorkloadModel* model : config_.model_pool) {
+    DOT_CHECK(model != nullptr);
+  }
+}
+
+Status Advisor::Init() {
+  DOT_CHECK(!initialized_);
+  SolveSpec spec;
+  spec.method = config_.replan_method;
+  const SolveResult solved = Solve(problem_, spec);
+  if (!solved.status.ok()) return solved.status;
+
+  incumbent_ = solved.placement;
+  incumbent_toc_ = solved.toc_cents_per_task;
+  pool_.clear();
+  pool_.push_back(incumbent_);
+
+  // The drift baseline is what the incumbent plan assumed the workload
+  // does: the base model's predicted counts. A trace that matches the
+  // model exactly therefore never deviates — and never re-plans.
+  reference_counts_ = problem_.workload->Estimate(incumbent_).io_by_object;
+  detector_.Rebase(reference_counts_);
+
+  if (config_.migration_weight == kAutoMigrationWeight) {
+    const double reference_rate = solved.dot.targets.best_case.tasks_per_hour;
+    DOT_CHECK(reference_rate > 0.0);
+    resolved_weight_ = 1.0 / reference_rate;
+  } else {
+    DOT_CHECK(config_.migration_weight >= 0.0);
+    resolved_weight_ = config_.migration_weight;
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+AdvisorRun Advisor::Run(TraceFeed* feed) {
+  AdvisorRun run;
+  if (!initialized_) {
+    run.status = Init();
+    if (!run.status.ok()) return run;
+  }
+  run.initial_layout = incumbent_;
+
+  FeedPlayer player(feed);
+  player.Play([&](const TraceEvent& event) { Observe(event, &run); });
+
+  run.final_layout = incumbent_;
+  return run;
+}
+
+int Advisor::ClassifyWorkload(const ObjectIoMap& observed) {
+  // Nearest-profile classification in the drift detector's own metric:
+  // the class whose predicted counts on the incumbent are closest to the
+  // observed profile becomes the planning model. Scale hints then correct
+  // only the residual — a task-mix swing is handled by the model switch,
+  // not mis-expressed as per-object scaling.
+  int best_index = -1;
+  double best_score = 0.0;
+  ObjectIoMap best_predicted;
+  for (size_t m = 0; m < config_.model_pool.size(); ++m) {
+    ObjectIoMap predicted =
+        config_.model_pool[m]->Estimate(incumbent_).io_by_object;
+    DOT_CHECK(predicted.size() == observed.size())
+        << "model_pool entry built over a different schema";
+    double abs_diff = 0.0;
+    double predicted_total = 0.0;
+    for (size_t o = 0; o < predicted.size(); ++o) {
+      for (IoType t : kAllIoTypes) {
+        abs_diff += std::abs(observed[o][t] - predicted[o][t]);
+        predicted_total += predicted[o][t];
+      }
+    }
+    const double score =
+        abs_diff / std::max(predicted_total, config_.drift.count_floor);
+    if (best_index < 0 || score < best_score) {
+      best_index = static_cast<int>(m);
+      best_score = score;
+      best_predicted = std::move(predicted);
+    }
+  }
+  if (best_index >= 0) {
+    problem_.workload = config_.model_pool[static_cast<size_t>(best_index)];
+    reference_counts_ = std::move(best_predicted);
+  }
+  return best_index;
+}
+
+std::vector<double> Advisor::EstimateIoScale(
+    const ObjectIoMap& observed) const {
+  // scale[o] = observed total / model-predicted total, per object —
+  // exactly the refinement phase's measured/estimated ratio, computed
+  // online. Objects the model predicts no I/O for keep scale 1 (there is
+  // nothing to correct against).
+  DOT_CHECK(observed.size() == reference_counts_.size());
+  std::vector<double> scale(observed.size(), 1.0);
+  for (size_t o = 0; o < observed.size(); ++o) {
+    const double reference = reference_counts_[o].Total();
+    if (reference > 0.0) scale[o] = observed[o].Total() / reference;
+  }
+  return scale;
+}
+
+void Advisor::AddToPool(const std::vector<int>& layout) {
+  if (std::find(pool_.begin(), pool_.end(), layout) != pool_.end()) return;
+  pool_.push_back(layout);
+  if (static_cast<int>(pool_.size()) > config_.max_pool) {
+    pool_.erase(pool_.begin());
+  }
+}
+
+void Advisor::Observe(const TraceEvent& event, AdvisorRun* run) {
+  ++windows_seen_;
+  // Causality: window w runs on the incumbent as of its entry; whatever
+  // this observation triggers takes effect from the next window.
+  run->layout_by_window.push_back(incumbent_);
+
+  detector_.Update(event.io_by_object);
+
+  AdvisorDecision decision;
+  decision.window = event.window;
+  decision.deviation = detector_.deviation();
+  decision.statistic = detector_.statistic();
+
+  const bool in_cooldown = cooldown_remaining_ > 0;
+  if (in_cooldown) --cooldown_remaining_;
+  const bool interval_due =
+      config_.replan_interval_windows > 0 &&
+      windows_seen_ % config_.replan_interval_windows == 0;
+  const bool drift_due = detector_.drifted() && !in_cooldown;
+
+  if (interval_due || drift_due) {
+    decision.replanned = true;
+    ++run->num_replans;
+
+    // The re-plan acts on the *triggering window's* profile, not the
+    // EWMA: the smoothed mean still blends the pre-shift regime in, and
+    // classifying or scaling from the blend would plan for a workload
+    // that exists only in the average. The EWMA's job is triggering.
+    if (!config_.model_pool.empty()) {
+      decision.model_index = ClassifyWorkload(event.io_by_object);
+    }
+    if (config_.estimate_io_scale) {
+      problem_.io_scale_hint = EstimateIoScale(event.io_by_object);
+    }
+    SolveSpec spec;
+    spec.method = config_.replan_method;
+    // Incremental re-plan: the incumbent and every past winner seed the
+    // branch-and-bound incumbent, so an undisturbed subtree prunes at
+    // once and a re-plan near the incumbent is nearly free.
+    spec.warm_starts = &pool_;
+    const SolveResult candidate = Solve(problem_, spec);
+    run->layouts_evaluated += candidate.layouts_evaluated;
+
+    if (candidate.status.ok()) {
+      decision.candidate_toc = candidate.toc_cents_per_task;
+      // Price the incumbent under the *same* scaled model — comparing a
+      // scaled candidate against an unscaled incumbent would manufacture
+      // phantom savings — and check whether it still meets the SLA there.
+      const DotOptimizer pricer(problem_);
+      PerfEstimate incumbent_estimate;
+      decision.incumbent_toc =
+          pricer.EstimateToc(incumbent_, &incumbent_estimate);
+      decision.incumbent_feasible =
+          MeetsTargets(incumbent_estimate, pricer.targets());
+      decision.verdict = GateMigration(
+          config_.migration, *problem_.box, *problem_.schema, incumbent_,
+          candidate.placement, decision.incumbent_toc,
+          decision.candidate_toc, config_.payback_horizon_hours,
+          resolved_weight_);
+      // An SLA-violating incumbent is replaced regardless of the bill:
+      // the candidate is the cheapest layout that restores the contract.
+      const bool commit =
+          !config_.gate_on_migration_bill || !decision.incumbent_feasible
+              ? candidate.placement != incumbent_
+              : decision.verdict.migrate;
+      if (commit) {
+        decision.migrated = true;
+        ++run->num_migrations;
+        incumbent_ = candidate.placement;
+        incumbent_toc_ = candidate.toc_cents_per_task;
+        AddToPool(incumbent_);
+      }
+    }
+    // Whatever was decided, the shift has been acted on: detection
+    // restarts with the triggering window's profile as the new normal
+    // (rebasing to the blended EWMA would leave a permanent phantom
+    // deviation that re-fires the trigger forever).
+    detector_.Rebase(event.io_by_object);
+    cooldown_remaining_ = config_.cooldown_windows;
+  }
+
+  run->decisions.push_back(std::move(decision));
+}
+
+}  // namespace dot

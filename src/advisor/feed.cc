@@ -1,0 +1,38 @@
+#include "advisor/feed.h"
+
+#include "common/check.h"
+
+namespace dot {
+
+RecordedTraceFeed::RecordedTraceFeed(const WorkloadTrace* trace)
+    : trace_(trace) {
+  DOT_CHECK(trace_ != nullptr);
+}
+
+bool RecordedTraceFeed::Next(TraceEvent* event) {
+  DOT_CHECK(event != nullptr);
+  if (next_ >= trace_->events.size()) return false;
+  *event = trace_->events[next_++];
+  return true;
+}
+
+FeedPlayer::FeedPlayer(TraceFeed* feed) : feed_(feed) {
+  DOT_CHECK(feed_ != nullptr);
+}
+
+int FeedPlayer::Play(const Observer& observe) {
+  DOT_CHECK(observe != nullptr);
+  int delivered = 0;
+  TraceEvent event;
+  while (feed_->Next(&event)) {
+    DOT_CHECK(event.start_hours >= clock_hours_ - 1e-9)
+        << "trace events must arrive in virtual-time order";
+    DOT_CHECK(event.duration_hours > 0.0);
+    observe(event);
+    clock_hours_ = event.start_hours + event.duration_hours;
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace dot

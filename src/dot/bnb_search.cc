@@ -79,7 +79,7 @@ DotResult EnumerateSearch(const DotProblem& problem, long long max_layouts,
   // Shard the mixed-radix layout space [0, M^N) across the pool; the
   // reduction under (TOC, lexicographically lowest placement) is a total
   // order, so the winner is the same at every thread count.
-  ThreadPool pool(problem.num_threads);
+  ThreadPool pool(problem.options.num_threads);
   const CandidateEvaluator evaluator(estimator, &pool);
   CandidateEvaluator::SpaceScan scan = evaluator.ScanLayoutSpace(0, total);
 
@@ -384,7 +384,9 @@ class SubtreeWalker {
   SubtreeBest best_;
 };
 
-DotResult BranchAndBoundSearch(const DotProblem& problem, double start_ms) {
+DotResult BranchAndBoundSearch(
+    const DotProblem& problem, double start_ms,
+    const std::vector<std::vector<int>>* warm_starts) {
   const int n = problem.schema->NumObjects();
   const int m = problem.box->NumClasses();
   DOT_CHECK(n >= 1 && m >= 1);
@@ -394,7 +396,7 @@ DotResult BranchAndBoundSearch(const DotProblem& problem, double start_ms) {
   result.targets = estimator.targets();
 
   std::unique_ptr<FastEvaluator> fast;
-  if (problem.use_fast_eval) {
+  if (problem.options.use_fast_eval) {
     auto f = std::make_unique<FastEvaluator>(estimator);
     if (f->enabled()) fast = std::move(f);
   }
@@ -499,6 +501,23 @@ DotResult BranchAndBoundSearch(const DotProblem& problem, double start_ms) {
     const DotResult dot = estimator.Optimize();
     if (dot.status.ok()) seed = std::min(seed, dot.toc_cents_per_task);
   }
+  // Caller-supplied warm starts (the advisor's incumbent layout and cached
+  // candidate pool): same evaluation path, same only-the-TOC-is-kept rule,
+  // so they tighten pruning without being able to change the result.
+  if (warm_starts != nullptr) {
+    for (const std::vector<int>& w : *warm_starts) {
+      if (static_cast<int>(w.size()) != n) continue;
+      bool in_range = true;
+      for (int cls : w) in_range = in_range && cls >= 0 && cls < m;
+      if (!in_range) continue;
+      const CandidateEval eval =
+          fast != nullptr ? fast->EvaluateQuick(w)
+                          : CandidateEvaluator::EvaluateOneWith(
+                                estimator, Layout(problem.schema,
+                                                  problem.box, w));
+      if (eval.feasible) seed = std::min(seed, eval.toc);
+    }
+  }
   sh.seed_incumbent = seed;
 
   // Shard the top k levels into independent subtree tasks. k depends only
@@ -517,7 +536,7 @@ DotResult BranchAndBoundSearch(const DotProblem& problem, double start_ms) {
   BnbStats stats = prefix_walker.stats();
   SubtreeBest best;
 
-  ThreadPool pool(problem.num_threads);
+  ThreadPool pool(problem.options.num_threads);
   std::vector<BnbStats> task_stats(tasks.size());
   std::vector<SubtreeBest> task_best(tasks.size());
   pool.ParallelFor(0, static_cast<int64_t>(tasks.size()), [&](int64_t i) {
@@ -571,15 +590,18 @@ DotResult BranchAndBoundSearch(const DotProblem& problem, double start_ms) {
 }  // namespace
 
 DotResult ExactSearch(const DotProblem& problem, ExactStrategy strategy,
-                      long long max_layouts) {
+                      long long max_layouts,
+                      const std::vector<std::vector<int>>* warm_starts) {
   DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
             problem.workload != nullptr);
   const double start_ms = NowMs();
   switch (strategy) {
     case ExactStrategy::kEnumerate:
+      // The enumerating search scores every layout anyway; a tighter
+      // incumbent seed would not change what it touches.
       return EnumerateSearch(problem, max_layouts, start_ms);
     case ExactStrategy::kBranchAndBound:
-      return BranchAndBoundSearch(problem, start_ms);
+      return BranchAndBoundSearch(problem, start_ms, warm_starts);
   }
   DOT_CHECK(false) << "unknown ExactStrategy";
   return DotResult{};

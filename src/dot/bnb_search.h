@@ -1,6 +1,8 @@
 #ifndef DOTPROV_DOT_BNB_SEARCH_H_
 #define DOTPROV_DOT_BNB_SEARCH_H_
 
+#include <vector>
+
 #include "dot/optimizer.h"
 #include "dot/problem.h"
 
@@ -34,8 +36,21 @@ inline constexpr long long kDefaultMaxEnumeratedLayouts = 50'000'000;
 /// thin alias for the kEnumerate strategy; kBranchAndBound is the scalable
 /// choice — bit-identical results, tractable on full benchmark schemas.
 /// `max_layouts` applies to kEnumerate only.
-DotResult ExactSearch(const DotProblem& problem, ExactStrategy strategy,
-                      long long max_layouts = kDefaultMaxEnumeratedLayouts);
+///
+/// `warm_starts` (optional, kBranchAndBound only) seeds the incumbent with
+/// the best feasible TOC among the given layouts before the tree search
+/// starts — the advisor loop passes its incumbent layout and cached
+/// candidate pool here so a re-plan prunes against what is already known.
+/// Warm starts can only tighten pruning, never change the result: only the
+/// seed TOC is kept (the winning placement is always rediscovered in-tree,
+/// because no subtree whose bound ties the incumbent is pruned), so the
+/// returned placement/TOC/status are bit-identical with or without seeds —
+/// only the node counters shrink. Layouts that do not place every object
+/// or are infeasible are ignored.
+DotResult ExactSearch(
+    const DotProblem& problem, ExactStrategy strategy,
+    long long max_layouts = kDefaultMaxEnumeratedLayouts,
+    const std::vector<std::vector<int>>* warm_starts = nullptr);
 
 }  // namespace dot
 

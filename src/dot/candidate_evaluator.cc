@@ -31,7 +31,7 @@ CandidateEvaluator::CandidateEvaluator(const DotOptimizer& estimator,
                                        ThreadPool* pool)
     : estimator_(estimator), pool_(pool) {
   DOT_CHECK(pool_ != nullptr);
-  if (estimator_.problem().use_fast_eval) {
+  if (estimator_.problem().options.use_fast_eval) {
     auto fast = std::make_unique<FastEvaluator>(estimator_);
     if (fast->enabled()) fast_ = std::move(fast);
   }

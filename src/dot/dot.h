@@ -15,6 +15,9 @@
 ///      DotOptimizer (or the full RunDotPipeline with validation and
 ///      refinement).
 
+#include "advisor/advisor.h"
+#include "advisor/drift.h"
+#include "advisor/feed.h"
 #include "catalog/chbench.h"
 #include "catalog/schema.h"
 #include "catalog/tpcc_schema.h"
@@ -33,9 +36,11 @@
 #include "dot/reprovision.h"
 #include "dot/simple_layouts.h"
 #include "dot/sla.h"
+#include "dot/solve.h"
 #include "dot/validator.h"
 #include "exec/executor.h"
 #include "exec/schedule_replay.h"
+#include "exec/trace_replay.h"
 #include "io/device_model.h"
 #include "io/microbench.h"
 #include "query/planner.h"
@@ -50,5 +55,6 @@
 #include "workload/profiler.h"
 #include "workload/tpcc_workload.h"
 #include "workload/tpch_queries.h"
+#include "workload/trace.h"
 
 #endif  // DOTPROV_DOT_DOT_H_

@@ -66,7 +66,7 @@ DotResult DotOptimizer::Optimize() const {
   DotResult result;
   result.targets = targets_;
 
-  ThreadPool pool(problem_.num_threads);
+  ThreadPool pool(problem_.options.num_threads);
   const CandidateEvaluator evaluator(*this, &pool);
 
   const int l0_class = problem_.box->MostExpensiveClass();
@@ -121,7 +121,7 @@ DotResult DotOptimizer::Optimize() const {
   //    §4.5.3), moves that strictly shrink the violation are kept so the
   //    walk can reach feasible space at all.
   std::vector<ObjectGroup> groups;
-  if (problem_.group_objects) {
+  if (problem_.options.group_objects) {
     groups = problem_.schema->MakeGroups();
   } else {
     // Ablation: one singleton group per object — the per-object move
@@ -134,7 +134,7 @@ DotResult DotOptimizer::Optimize() const {
     }
   }
   const std::vector<Move> moves = EnumerateMoves(problem_, groups);
-  const int max_sweeps = std::max(1, problem_.max_sweeps);
+  const int max_sweeps = std::max(1, problem_.options.max_sweeps);
 
   // The walk over the score-ordered move list is inherently sequential (each
   // acceptance changes the working layout every later move is judged
@@ -180,7 +180,7 @@ DotResult DotOptimizer::Optimize() const {
         const CandidateEval& eval = evals[k];
         commit(batch[k], eval);
         bool accept;
-        if (problem_.acceptance == MoveAcceptance::kAnyFeasible) {
+        if (problem_.options.acceptance == MoveAcceptance::kAnyFeasible) {
           // Procedure 1 verbatim: keep every feasible move.
           accept = std::isfinite(eval.toc);
         } else {

@@ -24,34 +24,14 @@ enum class MoveAcceptance {
   kAnyFeasible,
 };
 
-/// One instance of the §2.5 optimization problem: objects O (schema),
-/// storage classes D with prices P and capacities C (box), workload W with
-/// performance constraints T (workload model + relative SLA).
-struct DotProblem {
-  const Schema* schema = nullptr;
-  const BoxConfig* box = nullptr;
-  const WorkloadModel* workload = nullptr;
-
-  /// Performance constraint as a fraction of the best case (§2.4).
-  double relative_sla = 0.5;
-
-  /// Linear (§2.1) or discrete-sized (§5.2) layout cost.
-  CostModelSpec cost_model;
-
-  /// Workload profiles X from the profiling phase; drive move scoring.
-  const WorkloadProfiles* profiles = nullptr;
-
-  /// Per-object correction factors from the refinement phase (ratio of
-  /// measured to estimated I/O); empty on the first optimization round.
-  std::vector<double> io_scale_hint;
-
-  /// Optional absolute performance targets. When set, they replace the
-  /// targets derived from `relative_sla` on this box — the §5.1 generalized
-  /// provisioning problem needs one common constraint set T across all
-  /// candidate configurations, not per-box relative ones. Must outlive the
-  /// optimization run.
-  const PerfTargets* targets_override = nullptr;
-
+/// The search-engine knobs shared by every entry point that runs a layout
+/// search (DotOptimizer, ExactSearch, ReprovisionPlanner, the advisor
+/// loop). One embeddable block instead of loose per-struct fields, so a
+/// driver forwards its caller's engine configuration wholesale — the knobs
+/// steer *how* a search runs, never *what* it is solving, and none of them
+/// can change a result (only wall-clock), except the ablation knobs whose
+/// defaults reproduce the full DOT method.
+struct SearchOptions {
   /// Execution lanes for the parallel candidate-evaluation engine: both
   /// search phases batch estimateTOC calls across this many threads
   /// (1 = serial, 0 = std::thread::hardware_concurrency()). Results are
@@ -82,6 +62,38 @@ struct DotProblem {
   /// paper's literal procedure; >1 adds the hill-climbing convergence
   /// sweeps).
   int max_sweeps = 5;
+};
+
+/// One instance of the §2.5 optimization problem: objects O (schema),
+/// storage classes D with prices P and capacities C (box), workload W with
+/// performance constraints T (workload model + relative SLA).
+struct DotProblem {
+  const Schema* schema = nullptr;
+  const BoxConfig* box = nullptr;
+  const WorkloadModel* workload = nullptr;
+
+  /// Performance constraint as a fraction of the best case (§2.4).
+  double relative_sla = 0.5;
+
+  /// Linear (§2.1) or discrete-sized (§5.2) layout cost.
+  CostModelSpec cost_model;
+
+  /// Workload profiles X from the profiling phase; drive move scoring.
+  const WorkloadProfiles* profiles = nullptr;
+
+  /// Per-object correction factors from the refinement phase (ratio of
+  /// measured to estimated I/O); empty on the first optimization round.
+  std::vector<double> io_scale_hint;
+
+  /// Optional absolute performance targets. When set, they replace the
+  /// targets derived from `relative_sla` on this box — the §5.1 generalized
+  /// provisioning problem needs one common constraint set T across all
+  /// candidate configurations, not per-box relative ones. Must outlive the
+  /// optimization run.
+  const PerfTargets* targets_override = nullptr;
+
+  /// Engine knobs (threads, fast path, ablation switches) as one block.
+  SearchOptions options;
 };
 
 }  // namespace dot

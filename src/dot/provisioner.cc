@@ -22,9 +22,9 @@ ProvisioningResult ProvisionOverOptions(
   const bool single_option = options.size() == 1;
   pool.ParallelFor(0, static_cast<int64_t>(options.size()), [&](int64_t i) {
     DotProblem problem = options[static_cast<size_t>(i)].make_problem();
-    if (single_option && problem.num_threads == 1) {
+    if (single_option && problem.options.num_threads == 1) {
       // Hand the requested lanes to the only inner DOT run instead.
-      problem.num_threads = num_threads;
+      problem.options.num_threads = num_threads;
     }
     DotOptimizer optimizer(problem);
     out.per_option[static_cast<size_t>(i)] = optimizer.Optimize();

@@ -47,8 +47,7 @@ DotProblem EpochProblem(const Schema* schema, const BoxConfig* box,
   p.relative_sla = config.relative_sla;
   p.cost_model = config.cost_model;
   p.profiles = epoch.profiles;
-  p.num_threads = config.num_threads;
-  p.use_fast_eval = config.use_fast_eval;
+  p.options = config.options;
   return p;
 }
 
@@ -215,7 +214,7 @@ ReprovisionPlan ReprovisionPlanner::Plan(
                               static_cast<size_t>(k_pool),
                           kInf);
   {
-    ThreadPool threads(config_.num_threads);
+    ThreadPool threads(config_.options.num_threads);
     threads.ParallelFor(
         0, static_cast<int64_t>(num_epochs) * k_pool, [&](int64_t flat) {
           const int e = static_cast<int>(flat / k_pool);

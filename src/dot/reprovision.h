@@ -63,14 +63,12 @@ struct ReprovisionConfig {
   /// Guard for exhaustive_pool (the DP is O(E·K²) in the pool size K).
   long long max_pool_layouts = 20'000;
 
-  /// Execution lanes for the per-epoch searches and the pool evaluation
-  /// (1 = serial, 0 = hardware_concurrency). Results are bit-identical at
-  /// every setting: searches guarantee it, and the pool matrix is filled
-  /// into distinct slots and reduced in fixed order.
-  int num_threads = 1;
-
-  /// Forwarded to the per-epoch searches (dot/problem.h).
-  bool use_fast_eval = true;
+  /// Engine knobs, forwarded wholesale to every per-epoch search
+  /// (dot/problem.h): `options.num_threads` also drives the pool-matrix
+  /// evaluation (1 = serial, 0 = hardware_concurrency). Results are
+  /// bit-identical at every thread count: searches guarantee it, and the
+  /// pool matrix is filled into distinct slots and reduced in fixed order.
+  SearchOptions options;
 };
 
 /// The layout chosen for one epoch, with its bill.

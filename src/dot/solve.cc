@@ -1,0 +1,75 @@
+#include "dot/solve.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dot {
+
+namespace {
+
+/// Folds a single-shot DotResult into the common shape.
+SolveResult FromDot(DotResult result) {
+  SolveResult out;
+  out.status = result.status;
+  out.placement = result.placement;
+  out.toc_cents_per_task = result.toc_cents_per_task;
+  out.layouts_evaluated = result.layouts_evaluated;
+  out.dot = std::move(result);
+  return out;
+}
+
+}  // namespace
+
+SolveResult Solve(const DotProblem& problem, const SolveSpec& spec) {
+  DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
+            problem.workload != nullptr);
+  switch (spec.method) {
+    case SolveMethod::kDotHeuristic:
+      return FromDot(DotOptimizer(problem).Optimize());
+    case SolveMethod::kExact:
+      return FromDot(ExactSearch(problem, ExactStrategy::kBranchAndBound,
+                                 spec.max_layouts, spec.warm_starts));
+    case SolveMethod::kEnumerate:
+      return FromDot(
+          ExactSearch(problem, ExactStrategy::kEnumerate, spec.max_layouts));
+    case SolveMethod::kEpochPlan: {
+      ReprovisionConfig config;
+      config.relative_sla = problem.relative_sla;
+      config.cost_model = problem.cost_model;
+      config.migration = spec.migration;
+      config.migration_weight = spec.migration_weight;
+      config.search = spec.epoch_search;
+      config.options = problem.options;
+      ReprovisionPlanner planner(problem.schema, problem.box, config);
+
+      // No schedule = the single-shot special case: one epoch of the
+      // problem's own workload. Duration 1 h — multiplying TOC by a
+      // positive constant is monotone, so the chosen layout matches the
+      // single-shot searches (and with a zero migration model the TOC
+      // matches bit for bit; dot_solve_test pins it).
+      EpochSchedule one_epoch;
+      const EpochSchedule* schedule = spec.schedule;
+      if (schedule == nullptr) {
+        one_epoch.Add(problem.workload, /*duration_hours=*/1.0,
+                      /*label=*/"now", problem.profiles);
+        schedule = &one_epoch;
+      }
+
+      SolveResult out;
+      out.has_plan = true;
+      out.plan = planner.Plan(*schedule, spec.current_layout);
+      out.status = out.plan.status;
+      out.layouts_evaluated = out.plan.layouts_evaluated;
+      if (out.status.ok() && !out.plan.steps.empty()) {
+        out.placement = out.plan.steps.front().placement;
+        out.toc_cents_per_task = out.plan.steps.front().toc_cents_per_task;
+      }
+      return out;
+    }
+  }
+  DOT_CHECK(false) << "unknown SolveMethod";
+  return SolveResult{};
+}
+
+}  // namespace dot

@@ -1,0 +1,113 @@
+#ifndef DOTPROV_DOT_SOLVE_H_
+#define DOTPROV_DOT_SOLVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dot/bnb_search.h"
+#include "dot/optimizer.h"
+#include "dot/problem.h"
+#include "dot/reprovision.h"
+#include "storage/migration.h"
+#include "workload/epoch_schedule.h"
+
+namespace dot {
+
+/// Which engine Solve() drives. Every method consumes the same DotProblem
+/// and fills the same SolveResult; they differ in optimality guarantees
+/// and cost, never in what they are solving.
+enum class SolveMethod {
+  /// Procedure 1 (DotOptimizer::Optimize): the paper's heuristic.
+  /// Requires DotProblem::profiles.
+  kDotHeuristic,
+  /// ExactSearch(kBranchAndBound): the true optimum, tractable on full
+  /// benchmark schemas. The default.
+  kExact,
+  /// ExactSearch(kEnumerate): score every layout; refuses spaces larger
+  /// than SolveSpec::max_layouts.
+  kEnumerate,
+  /// ReprovisionPlanner: the stateful epoch DP over SolveSpec::schedule
+  /// (or a synthetic one-epoch schedule of problem.workload when none is
+  /// given), charging SolveSpec::migration between consecutive layouts.
+  kEpochPlan,
+};
+
+/// Per-call inputs of Solve() that are not part of the problem instance:
+/// which engine, and — for the stateful path — the schedule, the incumbent
+/// layout, and the migration pricing.
+struct SolveSpec {
+  SolveMethod method = SolveMethod::kExact;
+
+  /// kEnumerate only: refuse layout spaces larger than this.
+  long long max_layouts = kDefaultMaxEnumeratedLayouts;
+
+  /// kExact only: seed layouts for the branch-and-bound incumbent (the
+  /// advisor passes its incumbent layout and cached candidate pool).
+  /// Tightens pruning; provably cannot change the result (bnb_search.h).
+  const std::vector<std::vector<int>>* warm_starts = nullptr;
+
+  // --- kEpochPlan only ---
+
+  /// The epochs to plan across. Null = one epoch of problem.workload with
+  /// duration 1 h and problem.profiles — the single-shot special case,
+  /// which (with a zero migration model) reproduces kExact bit for bit.
+  const EpochSchedule* schedule = nullptr;
+
+  /// The layout the box runs today; empty = greenfield (no epoch-0
+  /// migration is charged).
+  std::vector<int> current_layout;
+
+  /// What moving data costs, and how migration cents fold into the
+  /// objective (dot/reprovision.h).
+  MigrationCostModel migration;
+  double migration_weight = kAutoMigrationWeight;
+
+  /// Candidate search seeding the planner's per-epoch pools.
+  EpochSearch epoch_search = EpochSearch::kExact;
+};
+
+/// The one result type every Solve() method fills. The convenience fields
+/// (placement, toc, layouts_evaluated) are always populated on success;
+/// the engine-specific payloads carry everything else:
+///
+///   * single-shot methods fill `dot` — bit-identical to calling
+///     DotOptimizer::Optimize / ExactSearch directly (same placement, TOC,
+///     estimate, counters, infeasibility verdicts);
+///   * kEpochPlan sets has_plan and fills `plan` — bit-identical to
+///     ReprovisionPlanner::Plan — and the convenience fields mirror the
+///     plan's first epoch (the layout to deploy now).
+struct SolveResult {
+  Status status = Status::OK();
+
+  /// The recommended placement: the search winner, or the plan's first
+  /// epoch. Meaningful only when status is OK.
+  std::vector<int> placement;
+
+  /// TOC of `placement` under its (first) epoch, cents/task.
+  double toc_cents_per_task = 0.0;
+
+  /// Candidate layouts evaluated by whichever engine ran.
+  long long layouts_evaluated = 0;
+
+  /// Single-shot payload (kDotHeuristic, kExact, kEnumerate).
+  DotResult dot;
+
+  /// Stateful payload (kEpochPlan).
+  bool has_plan = false;
+  ReprovisionPlan plan;
+};
+
+/// The unified optimization entry point: one facade over the heuristic
+/// optimizer, the exact searches, and the stateful epoch planner, so
+/// callers (examples, the advisor loop) pick an engine with a spec instead
+/// of wiring a different API per method.
+///
+/// kEpochPlan notes: the planner derives each epoch's targets from its own
+/// best case (exactly as a single-shot run would), so
+/// problem.targets_override and problem.io_scale_hint are ignored on this
+/// path — the same contract as calling ReprovisionPlanner directly.
+SolveResult Solve(const DotProblem& problem, const SolveSpec& spec = {});
+
+}  // namespace dot
+
+#endif  // DOTPROV_DOT_SOLVE_H_

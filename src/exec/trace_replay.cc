@@ -1,0 +1,72 @@
+#include "exec/trace_replay.h"
+
+#include "common/check.h"
+#include "dot/layout.h"
+
+namespace dot {
+
+WorkloadTrace RecordTraceWithExecutor(const WorkloadTraceSpec& spec,
+                                      const std::vector<int>& placement,
+                                      double exec_noise_cv) {
+  return RecordTrace(spec, [&](const TraceWindow& window, int w) {
+    ExecutorConfig cfg;
+    cfg.noise_cv = exec_noise_cv;
+    cfg.io_scale = window.io_scale;
+    cfg.seed = spec.seed + static_cast<uint64_t>(w);
+    Executor executor(window.workload, cfg);
+    return executor.Run(placement);
+  });
+}
+
+TrackReplayResult ReplayLayoutTrack(
+    const WorkloadTraceSpec& spec,
+    const std::vector<std::vector<int>>& layout_by_window,
+    const Schema& schema, const BoxConfig& box,
+    const TrackReplayConfig& config) {
+  TrackReplayResult result;
+  result.status = ValidateTraceSpec(spec);
+  if (!result.status.ok()) return result;
+  if (layout_by_window.size() != spec.windows.size()) {
+    result.status = Status::InvalidArgument(
+        "layout track length does not match the trace's window count");
+    return result;
+  }
+
+  result.windows.resize(spec.windows.size());
+  for (size_t w = 0; w < spec.windows.size(); ++w) {
+    const TraceWindow& window = spec.windows[w];
+    const std::vector<int>& layout = layout_by_window[w];
+    TrackWindowRun& run = result.windows[w];
+
+    ExecutorConfig exec_config;
+    exec_config.noise_cv = config.exec_noise_cv;
+    exec_config.io_scale = window.io_scale;
+    exec_config.seed = config.seed + static_cast<uint64_t>(w);
+    Executor executor(window.workload, exec_config);
+    run.measured = executor.Run(layout);
+    DOT_CHECK(run.measured.tasks_per_hour > 0)
+        << "replayed window produced zero throughput";
+
+    const double cost_cents_per_hour =
+        Layout(&schema, &box, layout).CostCentsPerHour(config.cost_model);
+    run.toc_cents_per_task = cost_cents_per_hour / run.measured.tasks_per_hour;
+    run.window_objective = run.toc_cents_per_task * window.duration_hours;
+
+    if (w > 0 && layout != layout_by_window[w - 1]) {
+      const MigrationEstimate bill = EstimateMigration(
+          config.migration, box, schema, layout_by_window[w - 1], layout);
+      run.migration_cents = bill.cents;
+      result.total_migration_cents += bill.cents;
+      ++result.num_migrations;
+    }
+
+    // Same accounting order as ReprovisionPlan / ReplaySchedule.
+    result.total_objective =
+        (result.total_objective +
+         config.migration_weight * run.migration_cents) +
+        run.window_objective;
+  }
+  return result;
+}
+
+}  // namespace dot

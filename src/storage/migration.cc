@@ -78,4 +78,25 @@ MigrationEstimate EstimateMigration(const MigrationCostModel& model,
   return est;
 }
 
+MigrationVerdict GateMigration(const MigrationCostModel& model,
+                               const BoxConfig& box, const Schema& schema,
+                               const std::vector<int>& from,
+                               const std::vector<int>& to,
+                               double incumbent_toc_cents_per_task,
+                               double candidate_toc_cents_per_task,
+                               double horizon_hours,
+                               double migration_weight) {
+  DOT_CHECK(horizon_hours >= 0.0);
+  DOT_CHECK(migration_weight >= 0.0);
+  MigrationVerdict verdict;
+  verdict.bill = EstimateMigration(model, box, schema, from, to);
+  verdict.toc_delta_cents_per_task =
+      incumbent_toc_cents_per_task - candidate_toc_cents_per_task;
+  verdict.projected_saving = verdict.toc_delta_cents_per_task * horizon_hours;
+  verdict.weighted_bill = migration_weight * verdict.bill.cents;
+  verdict.migrate = verdict.toc_delta_cents_per_task > 0.0 &&
+                    verdict.projected_saving > verdict.weighted_bill;
+  return verdict;
+}
+
 }  // namespace dot

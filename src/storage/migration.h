@@ -79,6 +79,40 @@ MigrationEstimate EstimateMigration(const MigrationCostModel& model,
                                     const std::vector<int>& from,
                                     const std::vector<int>& to);
 
+/// The outcome of asking "is this move worth its bill?".
+struct MigrationVerdict {
+  /// true iff the candidate is strictly cheaper AND its projected saving
+  /// over the payback horizon strictly exceeds the weighted bill.
+  bool migrate = false;
+
+  MigrationEstimate bill;
+
+  /// Incumbent TOC minus candidate TOC, cents/task (> 0 = candidate
+  /// cheaper to operate).
+  double toc_delta_cents_per_task = 0.0;
+
+  /// toc_delta · horizon_hours — what the move earns if the current
+  /// profile holds for the horizon (cents·hour/task).
+  double projected_saving = 0.0;
+
+  /// migration_weight · bill.cents, in the same cents·hour/task units.
+  double weighted_bill = 0.0;
+};
+
+/// The advisor's commit test: migrate from `from` to `to` only when the
+/// candidate's operating advantage, projected over `horizon_hours`, pays
+/// for the migration bill at `migration_weight` (hours/task — the epoch
+/// planner's weight unit, e.g. 1 / best-case tasks-per-hour). Both TOC
+/// inputs must be priced under the same model for the delta to mean
+/// anything. Strict inequality on both tests: a tie never moves data.
+MigrationVerdict GateMigration(const MigrationCostModel& model,
+                               const BoxConfig& box, const Schema& schema,
+                               const std::vector<int>& from,
+                               const std::vector<int>& to,
+                               double incumbent_toc_cents_per_task,
+                               double candidate_toc_cents_per_task,
+                               double horizon_hours, double migration_weight);
+
 }  // namespace dot
 
 #endif  // DOTPROV_STORAGE_MIGRATION_H_

@@ -1,0 +1,93 @@
+#ifndef DOTPROV_WORKLOAD_TRACE_H_
+#define DOTPROV_WORKLOAD_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/object_io.h"
+#include "workload/workload.h"
+
+namespace dot {
+
+/// Ground truth for one window of a recorded workload trace: which
+/// workload actually ran, at which per-object I/O intensity, for how long.
+/// The advisor never sees this struct — it observes TraceEvents — but the
+/// trace recorder and the realized-cost replay (exec/trace_replay.h) both
+/// price windows from it, so "what really happened" has one definition.
+struct TraceWindow {
+  /// The workload that ran during this window; must outlive the spec.
+  const WorkloadModel* workload = nullptr;
+
+  /// Per-object multiplier on the model's I/O counts (the Executor's
+  /// io_scale disturbance); empty = the model's estimates are exact. This
+  /// is how a trace drifts: consecutive windows scale different objects.
+  std::vector<double> io_scale;
+
+  double duration_hours = 1.0;
+
+  std::string label;  ///< report label, e.g. "night batch"
+};
+
+/// A replayable workload history: windows in virtual-time order. No wall
+/// clock anywhere — recording and replay are bit-reproducible functions of
+/// the spec and a seed.
+struct WorkloadTraceSpec {
+  std::vector<TraceWindow> windows;
+
+  /// Multiplicative lognormal observation noise (unit mean) applied to
+  /// each recorded per-(object, I/O-class) count — the monitoring stack's
+  /// sampling error, distinct from the Executor's timing jitter. 0 =
+  /// counts are observed exactly.
+  double count_noise_cv = 0.0;
+
+  /// Base seed of the observation-noise stream (and, for executor-backed
+  /// recording, of the per-window measurement runs at seed + window).
+  uint64_t seed = 7;
+
+  double TotalHours() const;
+};
+
+/// OK iff the spec is non-empty and every window has a workload and a
+/// positive, finite duration.
+Status ValidateTraceSpec(const WorkloadTraceSpec& spec);
+
+/// What the advisor observes about one window: the measured per-(object,
+/// I/O-class) request counts of one profiled run of the window's workload
+/// (the §3.4(b) test-run idiom applied continuously), plus the virtual
+/// clock. Counts are what drift detection runs on — they are a property of
+/// the workload, not of the layout it happened to run on, so an advisor
+/// that migrates mid-trace keeps observing comparable numbers.
+struct TraceEvent {
+  int window = -1;
+  double start_hours = 0.0;     ///< virtual time at window start
+  double duration_hours = 0.0;  ///< how long this workload level held
+  ObjectIoMap io_by_object;     ///< observed counts, one profiled run
+  double measured_tasks_per_hour = 0.0;  ///< on the recording layout
+  std::string label;
+};
+
+/// A recorded trace, ready to feed through advisor::RecordedTraceFeed.
+struct WorkloadTrace {
+  std::vector<TraceEvent> events;
+
+  double TotalHours() const;
+};
+
+/// Produces one window's measurement: the profiling callback idiom
+/// (workload/profiler.h) — the workload layer defines what a recording
+/// is, the exec layer supplies the simulated test run.
+using MeasureWindowFn =
+    std::function<PerfEstimate(const TraceWindow& window, int window_index)>;
+
+/// Records a trace by measuring every window through `measure`, stamping
+/// virtual time cumulatively, and applying the spec's observation noise to
+/// the counts (seeded; bit-reproducible). Aborts via DOT_CHECK on an
+/// invalid spec — validate first if the spec is untrusted.
+WorkloadTrace RecordTrace(const WorkloadTraceSpec& spec,
+                          const MeasureWindowFn& measure);
+
+}  // namespace dot
+
+#endif  // DOTPROV_WORKLOAD_TRACE_H_

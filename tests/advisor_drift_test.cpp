@@ -1,0 +1,158 @@
+// Unit tests of the advisor's change detection (advisor/drift.h): EWMA
+// smoothing semantics, deadband and trigger edges, CUSUM accumulation
+// latency on step changes, rebase semantics, and the count floor that
+// keeps a near-idle baseline from producing infinite relative drift.
+
+#include "advisor/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dot {
+namespace {
+
+/// One-object, one-class profile with the given kSeqRead count — the
+/// smallest map the detector's arithmetic runs over. 16.0 is exact in
+/// binary, so the relative-deviation expectations below are exact too.
+ObjectIoMap OneCell(double seq_reads) {
+  ObjectIoMap map(1);
+  map[0][IoType::kSeqRead] = seq_reads;
+  return map;
+}
+
+TEST(OnlineIoProfileTest, FirstObservationInitializesOutright) {
+  OnlineIoProfile profile;
+  EXPECT_TRUE(profile.empty());
+  profile.Observe(OneCell(16.0), /*alpha=*/0.1);
+  EXPECT_FALSE(profile.empty());
+  // alpha does not discount the first observation against an empty mean.
+  EXPECT_DOUBLE_EQ(profile.mean()[0][IoType::kSeqRead], 16.0);
+}
+
+TEST(OnlineIoProfileTest, EwmaBlendsAtAlpha) {
+  OnlineIoProfile profile;
+  profile.Observe(OneCell(16.0), 0.25);
+  profile.Observe(OneCell(32.0), 0.25);
+  // (1 - 0.25) * 16 + 0.25 * 32 = 20, exact in binary.
+  EXPECT_DOUBLE_EQ(profile.mean()[0][IoType::kSeqRead], 20.0);
+  profile.Reset();
+  EXPECT_TRUE(profile.empty());
+}
+
+TEST(DriftDetectorTest, MatchingProfileNeverDrifts) {
+  DriftDetector detector(DriftConfig{});
+  detector.Rebase(OneCell(16.0));
+  for (int w = 0; w < 100; ++w) {
+    detector.Update(OneCell(16.0));
+    EXPECT_DOUBLE_EQ(detector.deviation(), 0.0);
+    EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+    EXPECT_FALSE(detector.drifted());
+  }
+}
+
+TEST(DriftDetectorTest, DeadbandAbsorbsInProfileNoise) {
+  DriftConfig config;
+  config.ewma_alpha = 1.0;  // no smoothing: deviation is per-window
+  config.deadband = 0.05;
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(16.0));
+  // Relative deviation |16.5 - 16| / 16 ≈ 0.031 < deadband: however long
+  // it persists, nothing accumulates.
+  for (int w = 0; w < 1000; ++w) {
+    detector.Update(OneCell(16.5));
+    EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+  }
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(DriftDetectorTest, StepChangeTripsAtTheDocumentedLatency) {
+  // A persistent step of relative size s trips after about
+  // trigger / (s - deadband) windows (drift.h). With s = 0.25 exactly,
+  // deadband 0, trigger 0.5 and no smoothing: two windows, on the nose.
+  DriftConfig config;
+  config.ewma_alpha = 1.0;
+  config.deadband = 0.0;
+  config.trigger = 0.5;
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(16.0));
+
+  detector.Update(OneCell(20.0));  // |20-16|/16 = 0.25
+  EXPECT_DOUBLE_EQ(detector.deviation(), 0.25);
+  EXPECT_DOUBLE_EQ(detector.statistic(), 0.25);
+  EXPECT_FALSE(detector.drifted());
+
+  detector.Update(OneCell(20.0));
+  // The threshold edge is inclusive: statistic == trigger declares drift.
+  EXPECT_DOUBLE_EQ(detector.statistic(), 0.5);
+  EXPECT_TRUE(detector.drifted());
+}
+
+TEST(DriftDetectorTest, SmoothingDelaysButDoesNotSuppressDetection) {
+  auto windows_to_trip = [](double alpha) {
+    DriftConfig config;
+    config.ewma_alpha = alpha;
+    DriftDetector detector(config);
+    detector.Rebase(OneCell(16.0));
+    int windows = 0;
+    while (!detector.drifted()) {
+      detector.Update(OneCell(32.0));
+      ++windows;
+      EXPECT_LT(windows, 1000) << "step change never detected";
+    }
+    return windows;
+  };
+  const int smoothed = windows_to_trip(0.3);
+  const int raw = windows_to_trip(1.0);
+  EXPECT_GE(smoothed, raw);
+  EXPECT_GT(raw, 0);
+}
+
+TEST(DriftDetectorTest, RebaseClearsTheStatisticAndTheSmoother) {
+  DriftConfig config;
+  config.ewma_alpha = 1.0;
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(16.0));
+  while (!detector.drifted()) detector.Update(OneCell(32.0));
+
+  // The re-plan absorbed the shift: the shifted profile is the new normal.
+  detector.Rebase(OneCell(32.0));
+  EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+  EXPECT_TRUE(detector.smoothed().empty());
+  for (int w = 0; w < 50; ++w) {
+    detector.Update(OneCell(32.0));
+    EXPECT_FALSE(detector.drifted());
+  }
+}
+
+TEST(DriftDetectorTest, CountFloorBoundsNearIdleBaselines) {
+  DriftConfig config;
+  config.ewma_alpha = 1.0;
+  config.deadband = 0.0;
+  config.count_floor = 1.0;
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(0.0));  // the incumbent plan expects silence
+  detector.Update(OneCell(2.0));
+  // Normalized by the floor, not the zero baseline: 2 / 1, not 2 / 0.
+  EXPECT_DOUBLE_EQ(detector.deviation(), 2.0);
+  EXPECT_TRUE(detector.drifted());
+}
+
+TEST(DriftDetectorTest, DeviationSumsOverAllObjectsAndClasses) {
+  DriftConfig config;
+  config.ewma_alpha = 1.0;
+  DriftDetector detector(config);
+  ObjectIoMap baseline(2);
+  baseline[0][IoType::kSeqRead] = 8.0;
+  baseline[1][IoType::kRandWrite] = 8.0;
+  detector.Rebase(baseline);
+
+  ObjectIoMap observed(2);
+  observed[0][IoType::kSeqRead] = 10.0;   // +2
+  observed[1][IoType::kRandWrite] = 6.0;  // -2: misses don't cancel hits
+  detector.Update(observed);
+  EXPECT_DOUBLE_EQ(detector.deviation(), 4.0 / 16.0);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,291 @@
+// Integration tests of the always-on advisor loop (advisor/advisor.h):
+//
+//   * a noiseless trace whose profile matches the incumbent plan's model
+//     yields zero re-plans and reproduces the single-shot dot::Solve
+//     result bit for bit — the advisor at rest IS the optimizer;
+//   * a step change triggers a re-plan with bounded latency, and never
+//     before the shift;
+//   * the decision sequence is bit-identical at 1, 4 and all hardware
+//     threads (the engine's parallelism cannot leak into decisions);
+//   * randomized full-schema HTAP sessions (the reason this suite carries
+//     the `slow` label) hold the structural invariants: migration counts
+//     match the layout track, the realized replay reproduces the advisor's
+//     causality, and every run is thread-count deterministic.
+
+#include "advisor/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/tpcc_schema.h"
+#include "catalog/tpch_schema.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "exec/trace_replay.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/htap_workload.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+/// Everything the advisor decided, as one comparable string: %a hex floats
+/// so "identical" means bit-identical, not round-tripped-through-decimal.
+std::string DecisionFingerprint(const AdvisorRun& run) {
+  std::string fp = StrPrintf("init:%d;", run.num_replans);
+  for (const AdvisorDecision& d : run.decisions) {
+    fp += StrPrintf("%d:%d:%d:%a:%a:%a:%a;", d.window, d.replanned ? 1 : 0,
+                    d.migrated ? 1 : 0, d.deviation, d.statistic,
+                    d.incumbent_toc, d.candidate_toc);
+  }
+  for (const std::vector<int>& layout : run.layout_by_window) {
+    for (int c : layout) fp += static_cast<char>('0' + c);
+    fp += ';';
+  }
+  return fp;
+}
+
+/// A small TPC-H instance with a trace of `steady` windows of the base
+/// model followed by `shifted` windows with 10x I/O on the lineitem group.
+struct TpchSession {
+  Schema schema;
+  BoxConfig box;
+  DssWorkloadModel workload;
+  DotProblem problem;
+
+  TpchSession()
+      : schema(MakeTpchEsSubsetSchema(20.0)),
+        box(MakeBox1()),
+        workload("TPC-H-ES", &schema, &box, MakeTpchSubsetTemplates(),
+                 RepeatSequence(11, 3), PlannerConfig{}) {
+    problem.schema = &schema;
+    problem.box = &box;
+    problem.workload = &workload;
+    problem.relative_sla = 0.5;
+  }
+
+  WorkloadTraceSpec Trace(int steady, int shifted) const {
+    WorkloadTraceSpec spec;
+    std::vector<double> scale(static_cast<size_t>(schema.NumObjects()), 1.0);
+    scale[static_cast<size_t>(schema.FindObject("lineitem"))] = 10.0;
+    for (int w = 0; w < steady + shifted; ++w) {
+      TraceWindow window;
+      window.workload = &workload;
+      window.duration_hours = 1.0;
+      if (w >= steady) window.io_scale = scale;
+      window.label = w >= steady ? "shifted" : "steady";
+      spec.windows.push_back(window);
+    }
+    return spec;
+  }
+};
+
+TEST(AdvisorLoopTest, NoiselessUnchangedProfileNeverReplans) {
+  TpchSession session;
+  Advisor advisor(session.problem, AdvisorConfig{});
+  ASSERT_TRUE(advisor.Init().ok());
+
+  // The reference: the same problem through the single-shot facade.
+  const SolveResult reference = Solve(session.problem, SolveSpec{});
+  ASSERT_TRUE(reference.status.ok());
+  EXPECT_EQ(advisor.incumbent(), reference.placement);
+  EXPECT_EQ(advisor.incumbent_toc(), reference.toc_cents_per_task);
+
+  const WorkloadTrace trace = RecordTraceWithExecutor(
+      session.Trace(/*steady=*/24, /*shifted=*/0), advisor.incumbent());
+  RecordedTraceFeed feed(&trace);
+  const AdvisorRun run = advisor.Run(&feed);
+  ASSERT_TRUE(run.status.ok());
+
+  EXPECT_EQ(run.num_replans, 0);
+  EXPECT_EQ(run.num_migrations, 0);
+  ASSERT_EQ(run.layout_by_window.size(), 24u);
+  for (const std::vector<int>& layout : run.layout_by_window) {
+    EXPECT_EQ(layout, reference.placement);
+  }
+  // Still bitwise the facade's answer after a full quiet day.
+  EXPECT_EQ(run.final_layout, reference.placement);
+  EXPECT_EQ(advisor.incumbent_toc(), reference.toc_cents_per_task);
+  for (const AdvisorDecision& d : run.decisions) {
+    EXPECT_FALSE(d.replanned);
+    EXPECT_DOUBLE_EQ(d.deviation, 0.0);
+  }
+}
+
+TEST(AdvisorLoopTest, StepChangeTriggersReplanWithBoundedLatency) {
+  TpchSession session;
+  const int steady = 6;
+  Advisor advisor(session.problem, AdvisorConfig{});
+  ASSERT_TRUE(advisor.Init().ok());
+  const WorkloadTrace trace = RecordTraceWithExecutor(
+      session.Trace(steady, /*shifted=*/6), advisor.incumbent());
+  RecordedTraceFeed feed(&trace);
+  const AdvisorRun run = advisor.Run(&feed);
+  ASSERT_TRUE(run.status.ok());
+
+  ASSERT_GE(run.num_replans, 1);
+  int first_replan = -1;
+  for (const AdvisorDecision& d : run.decisions) {
+    if (d.replanned) {
+      first_replan = d.window;
+      break;
+    }
+  }
+  // Never before the shift; within three windows of it (a 10x step is
+  // far beyond the default deadband).
+  EXPECT_GE(first_replan, steady);
+  EXPECT_LE(first_replan, steady + 2);
+}
+
+TEST(AdvisorLoopTest, DecisionSequenceIsThreadCountInvariant) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<std::string> fingerprints;
+  for (int threads : {1, 4, hw}) {
+    TpchSession session;
+    session.problem.options.num_threads = threads;
+    Advisor advisor(session.problem, AdvisorConfig{});
+    ASSERT_TRUE(advisor.Init().ok());
+    const WorkloadTrace trace = RecordTraceWithExecutor(
+        session.Trace(6, 6), advisor.incumbent());
+    RecordedTraceFeed feed(&trace);
+    const AdvisorRun run = advisor.Run(&feed);
+    ASSERT_TRUE(run.status.ok());
+    fingerprints.push_back(DecisionFingerprint(run));
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+TEST(AdvisorLoopTest, RunIsResumableAcrossFeedSegments) {
+  TpchSession session;
+  const WorkloadTraceSpec spec = session.Trace(6, 6);
+
+  Advisor whole_advisor(session.problem, AdvisorConfig{});
+  ASSERT_TRUE(whole_advisor.Init().ok());
+  const WorkloadTrace trace =
+      RecordTraceWithExecutor(spec, whole_advisor.incumbent());
+  RecordedTraceFeed whole_feed(&trace);
+  const AdvisorRun whole = whole_advisor.Run(&whole_feed);
+
+  // The same trace cut into two feed segments: state carries over, so the
+  // concatenated decision sequence is identical.
+  WorkloadTrace first_half, second_half;
+  for (size_t e = 0; e < trace.events.size(); ++e) {
+    (e < 6 ? first_half : second_half).events.push_back(trace.events[e]);
+  }
+  Advisor split_advisor(session.problem, AdvisorConfig{});
+  RecordedTraceFeed feed_a(&first_half);
+  RecordedTraceFeed feed_b(&second_half);
+  const AdvisorRun run_a = split_advisor.Run(&feed_a);
+  const AdvisorRun run_b = split_advisor.Run(&feed_b);
+  ASSERT_TRUE(run_a.status.ok());
+  ASSERT_TRUE(run_b.status.ok());
+
+  AdvisorRun stitched = run_a;
+  stitched.decisions.insert(stitched.decisions.end(),
+                            run_b.decisions.begin(), run_b.decisions.end());
+  stitched.layout_by_window.insert(stitched.layout_by_window.end(),
+                                   run_b.layout_by_window.begin(),
+                                   run_b.layout_by_window.end());
+  stitched.num_replans += run_b.num_replans;
+  EXPECT_EQ(DecisionFingerprint(stitched), DecisionFingerprint(whole));
+  EXPECT_EQ(split_advisor.incumbent(), whole_advisor.incumbent());
+}
+
+/// Randomized full-schema HTAP sessions: the CH-benCH mix over a TPC-C
+/// schema subset, random drift pattern, random SLA — the advisor must
+/// stay deterministic and structurally consistent on every draw.
+TEST(AdvisorLoopSlowTest, RandomizedFullSchemaSessionsHoldInvariants) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 2654435761u);
+
+    BoxConfig box = MakeBox2();
+    Schema full = MakeTpccSchema(300);
+    Schema schema = full.Subset({"stock", "pk_stock", "order_line",
+                                 "pk_order_line", "customer", "pk_customer",
+                                 "orders", "pk_orders"});
+    HtapConfig htap_config;
+    htap_config.analytics_streams = 1.0 + 7.0 * rng.NextUniform(0.0, 1.0);
+    HtapBundle bundle = MakeChbenchHtapWorkload(
+        &schema, &box, htap_config, TpccConfig{}, /*analytics_reps=*/1);
+
+    DotProblem problem;
+    problem.schema = &schema;
+    problem.box = &box;
+    problem.workload = bundle.htap.get();
+    problem.relative_sla = rng.NextUniform(0.25, 0.5);
+
+    // A random 12-window day: each window scales a random object group.
+    WorkloadTraceSpec spec;
+    for (int w = 0; w < 12; ++w) {
+      TraceWindow window;
+      window.workload = bundle.htap.get();
+      window.duration_hours = 0.5 + rng.NextUniform(0.0, 1.0);
+      if (rng.NextBounded(3) == 0) {
+        std::vector<double> scale(
+            static_cast<size_t>(schema.NumObjects()), 1.0);
+        scale[rng.NextBounded(
+            static_cast<uint64_t>(schema.NumObjects()))] =
+            2.0 + rng.NextUniform(0.0, 8.0);
+        window.io_scale = scale;
+      }
+      spec.windows.push_back(window);
+    }
+
+    AdvisorConfig config;
+    config.migration.transfer_price_cents_per_gb = 0.03;
+    config.migration.downtime_price_cents_per_hour = 15.0;
+    config.payback_horizon_hours = 6.0;
+
+    std::vector<std::string> fingerprints;
+    AdvisorRun last_run;
+    for (int threads : {1, 4, hw}) {
+      DotProblem threaded = problem;
+      threaded.options.num_threads = threads;
+      Advisor advisor(threaded, config);
+      ASSERT_TRUE(advisor.Init().ok());
+      const WorkloadTrace trace =
+          RecordTraceWithExecutor(spec, advisor.incumbent());
+      RecordedTraceFeed feed(&trace);
+      last_run = advisor.Run(&feed);
+      ASSERT_TRUE(last_run.status.ok());
+      fingerprints.push_back(DecisionFingerprint(last_run));
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]) << "seed " << seed;
+    EXPECT_EQ(fingerprints[0], fingerprints[2]) << "seed " << seed;
+
+    // Structural invariants of the final run.
+    ASSERT_EQ(last_run.layout_by_window.size(), spec.windows.size());
+    ASSERT_EQ(last_run.decisions.size(), spec.windows.size());
+    int track_migrations = 0;
+    for (size_t w = 0; w + 1 < last_run.layout_by_window.size(); ++w) {
+      if (last_run.layout_by_window[w] != last_run.layout_by_window[w + 1]) {
+        ++track_migrations;
+      }
+    }
+    if (last_run.final_layout != last_run.layout_by_window.back()) {
+      ++track_migrations;
+    }
+    EXPECT_EQ(track_migrations, last_run.num_migrations) << "seed " << seed;
+    EXPECT_EQ(last_run.layout_by_window.front(), last_run.initial_layout);
+
+    // The realized replay accepts the advisor's track as-is.
+    TrackReplayConfig replay;
+    replay.migration = config.migration;
+    replay.migration_weight = 0.0;
+    const TrackReplayResult realized = ReplayLayoutTrack(
+        spec, last_run.layout_by_window, schema, box, replay);
+    ASSERT_TRUE(realized.status.ok()) << "seed " << seed;
+    EXPECT_EQ(static_cast<size_t>(spec.windows.size()),
+              realized.windows.size());
+  }
+}
+
+}  // namespace
+}  // namespace dot

@@ -40,8 +40,8 @@ class AblationTest : public ::testing::Test {
 
 TEST_F(AblationTest, LiteralProcedure1StillFeasibleButWorse) {
   DotProblem literal = problem_;
-  literal.acceptance = MoveAcceptance::kAnyFeasible;
-  literal.max_sweeps = 1;
+  literal.options.acceptance = MoveAcceptance::kAnyFeasible;
+  literal.options.max_sweeps = 1;
   DotResult lit = DotOptimizer(literal).Optimize();
   DotResult full = DotOptimizer(problem_).Optimize();
   ASSERT_TRUE(lit.status.ok());
@@ -55,7 +55,7 @@ TEST_F(AblationTest, LiteralProcedure1StillFeasibleButWorse) {
 
 TEST_F(AblationTest, UngroupedMovesStillSatisfyConstraints) {
   DotProblem ungrouped = problem_;
-  ungrouped.group_objects = false;
+  ungrouped.options.group_objects = false;
   DotResult r = DotOptimizer(ungrouped).Optimize();
   ASSERT_TRUE(r.status.ok());
   Layout layout(&schema_, &box_, r.placement);
@@ -67,10 +67,10 @@ TEST_F(AblationTest, UngroupedEnumeratesFewerLayoutsPerSweep) {
   // N singleton groups x (M-1) moves vs G groups x (M^2 - 1): 8x2=16 vs
   // 4x8=32 per sweep.
   DotProblem ungrouped = problem_;
-  ungrouped.group_objects = false;
-  ungrouped.max_sweeps = 1;
+  ungrouped.options.group_objects = false;
+  ungrouped.options.max_sweeps = 1;
   DotProblem grouped = problem_;
-  grouped.max_sweeps = 1;
+  grouped.options.max_sweeps = 1;
   DotResult u = DotOptimizer(ungrouped).Optimize();
   DotResult g = DotOptimizer(grouped).Optimize();
   EXPECT_EQ(u.layouts_evaluated, 1 + 16);
@@ -79,9 +79,9 @@ TEST_F(AblationTest, UngroupedEnumeratesFewerLayoutsPerSweep) {
 
 TEST_F(AblationTest, MoreSweepsNeverHurt) {
   DotProblem one = problem_;
-  one.max_sweeps = 1;
+  one.options.max_sweeps = 1;
   DotProblem five = problem_;
-  five.max_sweeps = 5;
+  five.options.max_sweeps = 5;
   DotResult r1 = DotOptimizer(one).Optimize();
   DotResult r5 = DotOptimizer(five).Optimize();
   ASSERT_TRUE(r1.status.ok());

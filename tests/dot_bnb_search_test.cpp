@@ -186,7 +186,7 @@ TEST(BnbSearchTest, MatchesEnumerationWithFastEvalDisabled) {
   DotProblem problem = inst.Problem();
   problem.relative_sla = 0.5;
   DotResult es = ExactSearch(problem, ExactStrategy::kEnumerate);
-  problem.use_fast_eval = false;
+  problem.options.use_fast_eval = false;
   DotResult bnb = ExactSearch(problem, ExactStrategy::kBranchAndBound);
   ExpectSameOptimum(bnb, es, "use_fast_eval=false");
   ExpectCountersAccountForTree(bnb, inst.box.NumClasses(),
@@ -261,7 +261,7 @@ TEST(BnbSearchTest, DeterministicAcrossThreadCountsIncludingCounters) {
   RandomDssInstance inst(11, 3);
   DotProblem problem = inst.Problem();
   problem.relative_sla = 0.5;
-  problem.num_threads = 1;
+  problem.options.num_threads = 1;
   const DotResult baseline =
       ExactSearch(problem, ExactStrategy::kBranchAndBound);
   const std::vector<int> threads = {
@@ -269,7 +269,7 @@ TEST(BnbSearchTest, DeterministicAcrossThreadCountsIncludingCounters) {
   for (int t : threads) {
     DotProblem p = inst.Problem();
     p.relative_sla = 0.5;
-    p.num_threads = t;
+    p.options.num_threads = t;
     const DotResult r = ExactSearch(p, ExactStrategy::kBranchAndBound);
     const std::string what = "num_threads=" + std::to_string(t);
     ExpectSameOptimum(r, baseline, what);

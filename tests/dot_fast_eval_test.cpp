@@ -181,14 +181,14 @@ TEST_F(DssFastEvalTest, OptimizeMatchesSlowPathAtEveryThreadCount) {
   // result equality here proves the fast path scored every committed
   // candidate exactly as the full path would have.
   DotProblem slow = problem_;
-  slow.use_fast_eval = false;
-  slow.num_threads = 1;
+  slow.options.use_fast_eval = false;
+  slow.options.num_threads = 1;
   const DotResult full = DotOptimizer(slow).Optimize();
   ASSERT_TRUE(full.status.ok()) << full.status.ToString();
   for (int threads : ThreadCounts()) {
     DotProblem fast = problem_;
-    fast.use_fast_eval = true;
-    fast.num_threads = threads;
+    fast.options.use_fast_eval = true;
+    fast.options.num_threads = threads;
     const DotResult r = DotOptimizer(fast).Optimize();
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     ExpectResultIdentical(r, full, "Optimize fast vs full");
@@ -197,14 +197,14 @@ TEST_F(DssFastEvalTest, OptimizeMatchesSlowPathAtEveryThreadCount) {
 
 TEST_F(DssFastEvalTest, ExhaustiveMatchesSlowPathAtEveryThreadCount) {
   DotProblem slow = problem_;
-  slow.use_fast_eval = false;
-  slow.num_threads = 1;
+  slow.options.use_fast_eval = false;
+  slow.options.num_threads = 1;
   const DotResult full = ExhaustiveSearch(slow);
   ASSERT_TRUE(full.status.ok()) << full.status.ToString();
   for (int threads : ThreadCounts()) {
     DotProblem fast = problem_;
-    fast.use_fast_eval = true;
-    fast.num_threads = threads;
+    fast.options.use_fast_eval = true;
+    fast.options.num_threads = threads;
     const DotResult r = ExhaustiveSearch(fast);
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     ExpectResultIdentical(r, full, "ExhaustiveSearch fast vs full");
@@ -296,14 +296,14 @@ TEST_F(OltpFastEvalTest, RandomizedPlacementsMatchWithIoScaleHint) {
 
 TEST_F(OltpFastEvalTest, OptimizeMatchesSlowPathAtEveryThreadCount) {
   DotProblem slow = problem_;
-  slow.use_fast_eval = false;
-  slow.num_threads = 1;
+  slow.options.use_fast_eval = false;
+  slow.options.num_threads = 1;
   const DotResult full = DotOptimizer(slow).Optimize();
   ASSERT_TRUE(full.status.ok()) << full.status.ToString();
   for (int threads : ThreadCounts()) {
     DotProblem fast = problem_;
-    fast.use_fast_eval = true;
-    fast.num_threads = threads;
+    fast.options.use_fast_eval = true;
+    fast.options.num_threads = threads;
     const DotResult r = DotOptimizer(fast).Optimize();
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     ExpectResultIdentical(r, full, "Optimize fast vs full (OLTP)");

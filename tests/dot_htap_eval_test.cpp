@@ -265,12 +265,12 @@ TEST(HtapFastEvalTest, ChbenchOptimizeMatchesSlowPathAtEveryThreadCount) {
   problem.profiles = &profiles;
 
   DotProblem slow = problem;
-  slow.use_fast_eval = false;
+  slow.options.use_fast_eval = false;
   const DotResult full_r = DotOptimizer(slow).Optimize();
   ASSERT_TRUE(full_r.status.ok()) << full_r.status.ToString();
   for (int threads : ThreadCounts()) {
     DotProblem fast = problem;
-    fast.num_threads = threads;
+    fast.options.num_threads = threads;
     const DotResult r = DotOptimizer(fast).Optimize();
     const std::string what = "num_threads=" + std::to_string(threads);
     ASSERT_EQ(r.status.code(), full_r.status.code()) << what;
@@ -321,7 +321,7 @@ TEST(HtapBnbTest, MatchesEnumerationOnChbenchSubset) {
     problem.box = &box;
     problem.workload = bundle.htap.get();
     problem.relative_sla = 0.2;
-    problem.num_threads = 0;
+    problem.options.num_threads = 0;
     const std::string what = "chbench streams=" + std::to_string(streams);
     DotResult es = ExactSearch(problem, ExactStrategy::kEnumerate);
     DotResult bnb = ExactSearch(problem, ExactStrategy::kBranchAndBound);
@@ -340,13 +340,13 @@ TEST(HtapBnbTest, DeterministicAcrossThreadCountsIncludingCounters) {
   RandomHtapInstance inst(17, 3);
   DotProblem problem = inst.Problem();
   problem.relative_sla = 0.3;
-  problem.num_threads = 1;
+  problem.options.num_threads = 1;
   const DotResult baseline =
       ExactSearch(problem, ExactStrategy::kBranchAndBound);
   for (int t : ThreadCounts()) {
     DotProblem p = inst.Problem();
     p.relative_sla = 0.3;
-    p.num_threads = t;
+    p.options.num_threads = t;
     const DotResult r = ExactSearch(p, ExactStrategy::kBranchAndBound);
     const std::string what = "num_threads=" + std::to_string(t);
     ExpectSameOptimum(r, baseline, what);

@@ -74,12 +74,12 @@ class ParallelDeterminismTest : public ::testing::Test {
 
 TEST_F(ParallelDeterminismTest, OptimizeIsIdenticalAtEveryThreadCount) {
   DotProblem serial = problem_;
-  serial.num_threads = 1;
+  serial.options.num_threads = 1;
   const DotResult baseline = DotOptimizer(serial).Optimize();
   ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
   for (int threads : ThreadCounts()) {
     DotProblem p = problem_;
-    p.num_threads = threads;
+    p.options.num_threads = threads;
     DotResult r = DotOptimizer(p).Optimize();
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     ExpectIdentical(baseline, r, "Optimize");
@@ -88,13 +88,13 @@ TEST_F(ParallelDeterminismTest, OptimizeIsIdenticalAtEveryThreadCount) {
 
 TEST_F(ParallelDeterminismTest, ExhaustiveIsIdenticalAtEveryThreadCount) {
   DotProblem serial = problem_;
-  serial.num_threads = 1;
+  serial.options.num_threads = 1;
   const DotResult baseline = ExhaustiveSearch(serial);
   ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
   EXPECT_EQ(baseline.layouts_evaluated, 6561);  // 3^8, the full space
   for (int threads : ThreadCounts()) {
     DotProblem p = problem_;
-    p.num_threads = threads;
+    p.options.num_threads = threads;
     DotResult r = ExhaustiveSearch(p);
     SCOPED_TRACE("num_threads=" + std::to_string(threads));
     ExpectIdentical(baseline, r, "ExhaustiveSearch");
@@ -103,7 +103,7 @@ TEST_F(ParallelDeterminismTest, ExhaustiveIsIdenticalAtEveryThreadCount) {
 
 TEST_F(ParallelDeterminismTest, ParallelOptimizeStillWithinPaperBandsOfEs) {
   DotProblem p = problem_;
-  p.num_threads = 4;
+  p.options.num_threads = 4;
   DotResult dot = DotOptimizer(p).Optimize();
   DotResult es = ExhaustiveSearch(p);
   ASSERT_TRUE(dot.status.ok());
@@ -145,11 +145,11 @@ TEST_F(ParallelDeterminismTest, ProvisioningIsIdenticalAtEveryThreadCount) {
 
 TEST_F(ParallelDeterminismTest, ZeroThreadsResolvesToHardwareConcurrency) {
   DotProblem p = problem_;
-  p.num_threads = 0;  // auto
+  p.options.num_threads = 0;  // auto
   DotResult r = DotOptimizer(p).Optimize();
   ASSERT_TRUE(r.status.ok());
   DotProblem serial = problem_;
-  serial.num_threads = 1;
+  serial.options.num_threads = 1;
   ExpectIdentical(DotOptimizer(serial).Optimize(), r, "auto threads");
 }
 

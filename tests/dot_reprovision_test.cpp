@@ -151,7 +151,7 @@ TEST(ReprovisionTest, OneEpochZeroMigrationMatchesExactSearchBitwise) {
       config.relative_sla = problem.relative_sla;
       config.cost_model = problem.cost_model;
       config.search = EpochSearch::kExact;
-      config.num_threads = threads;
+      config.options.num_threads = threads;
       ReprovisionPlanner planner(&inst.schema, &inst.box, config);
 
       EpochSchedule schedule;
@@ -386,7 +386,7 @@ TEST(ReprovisionTest, PlanIsBitIdenticalAcrossThreadCounts) {
   ReprovisionConfig config;
   config.relative_sla = 0.4;
   config.migration = SomeMigration(10.0, 500.0);
-  config.num_threads = 1;
+  config.options.num_threads = 1;
   const ReprovisionPlan base =
       ReprovisionPlanner(&inst.schema, &inst.box, config)
           .Plan(schedule, std::vector<int>{0, 0, 0, 0, 0, 0});
@@ -394,7 +394,7 @@ TEST(ReprovisionTest, PlanIsBitIdenticalAcrossThreadCounts) {
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   for (int threads : {4, hw}) {
-    config.num_threads = threads;
+    config.options.num_threads = threads;
     const ReprovisionPlan plan =
         ReprovisionPlanner(&inst.schema, &inst.box, config)
             .Plan(schedule, std::vector<int>{0, 0, 0, 0, 0, 0});

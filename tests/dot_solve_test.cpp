@@ -1,0 +1,235 @@
+// Pins the dot::Solve facade (dot/solve.h) to the engines it fronts: each
+// SolveMethod must reproduce a direct call to its engine bit for bit —
+// same placement, same TOC, same counters, same infeasibility verdicts.
+// The facade routes; it must never re-interpret.
+
+#include "dot/solve.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/tpch_schema.h"
+#include "common/rng.h"
+#include "dot/exhaustive.h"
+#include "dot/optimizer.h"
+#include "storage/standard_catalog.h"
+#include "workload/dss_workload.h"
+#include "workload/profiler.h"
+#include "workload/tpch_queries.h"
+
+namespace dot {
+namespace {
+
+/// Placement, TOC, cost, estimate and search counters must all match; the
+/// wall-clock and plan-cache diagnostics are explicitly excluded (they
+/// legitimately vary run to run).
+void ExpectSameDotResult(const DotResult& direct, const DotResult& facade) {
+  ASSERT_EQ(direct.status.ok(), facade.status.ok())
+      << direct.status.ToString() << " vs " << facade.status.ToString();
+  EXPECT_EQ(direct.placement, facade.placement);
+  EXPECT_EQ(direct.toc_cents_per_task, facade.toc_cents_per_task);
+  EXPECT_EQ(direct.layout_cost_cents_per_hour,
+            facade.layout_cost_cents_per_hour);
+  EXPECT_EQ(direct.layouts_evaluated, facade.layouts_evaluated);
+  EXPECT_EQ(direct.nodes_expanded, facade.nodes_expanded);
+  EXPECT_EQ(direct.nodes_pruned_bound, facade.nodes_pruned_bound);
+  EXPECT_EQ(direct.nodes_pruned_infeasible, facade.nodes_pruned_infeasible);
+  EXPECT_EQ(direct.estimate.tasks_per_hour, facade.estimate.tasks_per_hour);
+  EXPECT_EQ(direct.targets.best_case.tasks_per_hour,
+            facade.targets.best_case.tasks_per_hour);
+}
+
+/// The §4.4.3 small TPC-H instance: 8 objects, exhaustive-tractable, with
+/// profiles so the heuristic path can run too.
+class SolveFacadeTest : public ::testing::Test {
+ protected:
+  SolveFacadeTest()
+      : schema_(MakeTpchEsSubsetSchema(20.0)),
+        box_(MakeBox1()),
+        workload_("TPC-H-ES", &schema_, &box_, MakeTpchSubsetTemplates(),
+                  RepeatSequence(11, 3), PlannerConfig{}),
+        profiler_(&schema_, &box_),
+        profiles_(profiler_.ProfileWorkload(
+            workload_, [&](const std::vector<int>& p) {
+              return workload_.Estimate(p);
+            })) {
+    problem_.schema = &schema_;
+    problem_.box = &box_;
+    problem_.workload = &workload_;
+    problem_.relative_sla = 0.5;
+    problem_.profiles = &profiles_;
+  }
+
+  Schema schema_;
+  BoxConfig box_;
+  DssWorkloadModel workload_;
+  Profiler profiler_;
+  WorkloadProfiles profiles_;
+  DotProblem problem_;
+};
+
+TEST_F(SolveFacadeTest, ExactMatchesDirectExactSearchBitwise) {
+  const DotResult direct =
+      ExactSearch(problem_, ExactStrategy::kBranchAndBound);
+  SolveSpec spec;
+  spec.method = SolveMethod::kExact;
+  const SolveResult facade = Solve(problem_, spec);
+  ASSERT_TRUE(facade.status.ok()) << facade.status.ToString();
+  ExpectSameDotResult(direct, facade.dot);
+  EXPECT_EQ(facade.placement, direct.placement);
+  EXPECT_EQ(facade.toc_cents_per_task, direct.toc_cents_per_task);
+  EXPECT_EQ(facade.layouts_evaluated, direct.layouts_evaluated);
+  EXPECT_FALSE(facade.has_plan);
+}
+
+TEST_F(SolveFacadeTest, EnumerateMatchesExhaustiveSearchBitwise) {
+  const DotResult direct = ExhaustiveSearch(problem_);
+  SolveSpec spec;
+  spec.method = SolveMethod::kEnumerate;
+  const SolveResult facade = Solve(problem_, spec);
+  ASSERT_TRUE(facade.status.ok()) << facade.status.ToString();
+  ExpectSameDotResult(direct, facade.dot);
+}
+
+TEST_F(SolveFacadeTest, HeuristicMatchesDotOptimizerBitwise) {
+  const DotResult direct = DotOptimizer(problem_).Optimize();
+  SolveSpec spec;
+  spec.method = SolveMethod::kDotHeuristic;
+  const SolveResult facade = Solve(problem_, spec);
+  ExpectSameDotResult(direct, facade.dot);
+}
+
+TEST_F(SolveFacadeTest, EnumerateRefusesOversizedSpaces) {
+  SolveSpec spec;
+  spec.method = SolveMethod::kEnumerate;
+  spec.max_layouts = 2;  // 8 objects on >= 2 classes is far beyond this
+  const SolveResult facade = Solve(problem_, spec);
+  EXPECT_FALSE(facade.status.ok());
+}
+
+TEST_F(SolveFacadeTest, WarmStartsCannotChangeTheExactResult) {
+  SolveSpec cold;
+  cold.method = SolveMethod::kExact;
+  const SolveResult reference = Solve(problem_, cold);
+  ASSERT_TRUE(reference.status.ok());
+
+  std::vector<std::vector<int>> pool = {
+      reference.placement,
+      std::vector<int>(static_cast<size_t>(schema_.NumObjects()),
+                       box_.MostExpensiveClass()),
+      std::vector<int>{0},  // malformed: ignored, not fatal
+  };
+  SolveSpec warm = cold;
+  warm.warm_starts = &pool;
+  const SolveResult seeded = Solve(problem_, warm);
+  ASSERT_TRUE(seeded.status.ok());
+  EXPECT_EQ(seeded.placement, reference.placement);
+  EXPECT_EQ(seeded.toc_cents_per_task, reference.toc_cents_per_task);
+  // Seeding the incumbent with the known optimum can only prune harder.
+  EXPECT_LE(seeded.dot.nodes_expanded, reference.dot.nodes_expanded);
+}
+
+TEST_F(SolveFacadeTest, EpochPlanOneEpochZeroMigrationMatchesExact) {
+  SolveSpec exact;
+  exact.method = SolveMethod::kExact;
+  const SolveResult single = Solve(problem_, exact);
+  ASSERT_TRUE(single.status.ok());
+
+  // Null schedule + zero migration model: the stateful path degenerates
+  // to the single-shot problem and must land on the same layout and TOC.
+  SolveSpec epoch;
+  epoch.method = SolveMethod::kEpochPlan;
+  const SolveResult planned = Solve(problem_, epoch);
+  ASSERT_TRUE(planned.status.ok()) << planned.status.ToString();
+  ASSERT_TRUE(planned.has_plan);
+  EXPECT_EQ(planned.placement, single.placement);
+  EXPECT_EQ(planned.toc_cents_per_task, single.toc_cents_per_task);
+  EXPECT_EQ(planned.plan.steps.size(), 1u);
+  EXPECT_EQ(planned.plan.total_migration_cents, 0.0);
+}
+
+TEST_F(SolveFacadeTest, InfeasibleVerdictPassesThroughUnchanged) {
+  PerfTargets impossible = MakePerfTargets(
+      workload_, box_, schema_.NumObjects(), problem_.relative_sla);
+  for (double& cap : impossible.query_caps_ms) cap = 0.0;
+  DotProblem hopeless = problem_;
+  hopeless.targets_override = &impossible;
+
+  const DotResult direct =
+      ExactSearch(hopeless, ExactStrategy::kBranchAndBound);
+  SolveSpec spec;
+  spec.method = SolveMethod::kExact;
+  const SolveResult facade = Solve(hopeless, spec);
+  EXPECT_FALSE(direct.status.ok());
+  EXPECT_FALSE(facade.status.ok());
+  EXPECT_EQ(direct.status.ToString(), facade.dot.status.ToString());
+}
+
+/// Randomized DSS instances (the reprovision-test generator): the facade
+/// equivalence must hold across boxes, schemas and thread counts, not
+/// just on the fixture instance.
+struct RandomInstance {
+  Schema schema;
+  BoxConfig box;
+  std::unique_ptr<DssWorkloadModel> workload;
+
+  RandomInstance(uint64_t seed, int tables) {
+    Rng rng(seed);
+    box = rng.NextBounded(2) == 0 ? MakeBox1() : MakeBox2();
+    std::vector<QuerySpec> templates;
+    for (int i = 0; i < tables; ++i) {
+      const std::string name = "t" + std::to_string(i);
+      schema.AddTable(name, 1e5 * (1 + rng.NextBounded(20)),
+                      60 + 20 * rng.NextBounded(6));
+      schema.AddIndex(name + "_pk", schema.FindObject(name), 8);
+      QuerySpec q;
+      q.name = "q" + std::to_string(i);
+      RelationAccess ra;
+      ra.table = name;
+      ra.index_sargable = rng.NextBounded(2) == 0;
+      ra.selectivity = ra.index_sargable ? rng.NextUniform(0.0005, 0.01)
+                                         : rng.NextUniform(0.2, 1.0);
+      q.relations = {ra};
+      templates.push_back(std::move(q));
+    }
+    const int num_templates = static_cast<int>(templates.size());
+    workload = std::make_unique<DssWorkloadModel>(
+        "rand", &schema, &box, std::move(templates),
+        RepeatSequence(num_templates, 2), PlannerConfig{});
+  }
+
+  DotProblem Problem() const {
+    DotProblem p;
+    p.schema = &schema;
+    p.box = &box;
+    p.workload = workload.get();
+    return p;
+  }
+};
+
+TEST(SolveRandomizedTest, ExactFacadeMatchesDirectAcrossInstancesAndThreads) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7919);
+    const int tables = 2 + static_cast<int>(rng.NextBounded(3));
+    RandomInstance inst(seed, tables);
+    const double sla = rng.NextUniform(0.2, 0.8);
+    for (int threads : {1, 4, hw}) {
+      DotProblem problem = inst.Problem();
+      problem.relative_sla = sla;
+      problem.options.num_threads = threads;
+      const DotResult direct =
+          ExactSearch(problem, ExactStrategy::kBranchAndBound);
+      SolveSpec spec;
+      const SolveResult facade = Solve(problem, spec);
+      ExpectSameDotResult(direct, facade.dot);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dot
