@@ -24,6 +24,12 @@ Advisor::Advisor(const DotProblem& problem, AdvisorConfig config)
   for (const WorkloadModel* model : config_.model_pool) {
     DOT_CHECK(model != nullptr);
   }
+  if (config_.ensemble != nullptr) {
+    // Robust mode: install the ensemble on the copied problem so every
+    // Solve and every incumbent pricing below runs over it.
+    problem_.ensemble = config_.ensemble;
+    problem_.ensemble_objective = config_.ensemble_objective;
+  }
 }
 
 Status Advisor::Init() {
@@ -65,7 +71,12 @@ AdvisorRun Advisor::Run(TraceFeed* feed) {
   run.initial_layout = incumbent_;
 
   FeedPlayer player(feed);
-  player.Play([&](const TraceEvent& event) { Observe(event, &run); });
+  const Status played =
+      player.Play([&](const TraceEvent& event) { Observe(event, &run); });
+  // A malformed feed stops the drain but keeps everything decided so far:
+  // the advisor state (incumbent, detector, pool) stays valid, and the
+  // caller sees both the partial run and why it ended.
+  if (!played.ok()) run.status = played;
 
   run.final_layout = incumbent_;
   return run;
@@ -179,12 +190,14 @@ void Advisor::Observe(const TraceEvent& event, AdvisorRun* run) {
       // Price the incumbent under the *same* scaled model — comparing a
       // scaled candidate against an unscaled incumbent would manufacture
       // phantom savings — and check whether it still meets the SLA there.
+      // EstimateToc owns the feasibility verdict (the chance constraint in
+      // ensemble mode, MeetsTargets otherwise).
       const DotOptimizer pricer(problem_);
       PerfEstimate incumbent_estimate;
-      decision.incumbent_toc =
-          pricer.EstimateToc(incumbent_, &incumbent_estimate);
-      decision.incumbent_feasible =
-          MeetsTargets(incumbent_estimate, pricer.targets());
+      bool incumbent_sla = false;
+      decision.incumbent_toc = pricer.EstimateToc(
+          incumbent_, &incumbent_estimate, nullptr, &incumbent_sla);
+      decision.incumbent_feasible = incumbent_sla;
       decision.verdict = GateMigration(
           config_.migration, *problem_.box, *problem_.schema, incumbent_,
           candidate.placement, decision.incumbent_toc,

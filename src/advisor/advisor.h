@@ -52,10 +52,10 @@ struct AdvisorConfig {
   /// window's observed profile becomes the planning model, and io_scale
   /// hints correct only the residual. Per-object scaling cannot express
   /// a task-mix shift (it rescales I/O, not what counts as a task), so
-  /// without this a mix swing is planned under the wrong TOC denominator. Models must
-  /// be built over the problem's schema/box and outlive the advisor; ties
-  /// resolve to the lowest index (deterministic). Empty: the base model
-  /// plus scale hints is all there is.
+  /// without this a mix swing is planned under the wrong TOC denominator.
+  /// Models must be built over the problem's schema/box and outlive the
+  /// advisor; ties resolve to the lowest index (deterministic). Empty:
+  /// the base model plus scale hints is all there is.
   std::vector<const WorkloadModel*> model_pool;
 
   /// true: commit a re-plan's winner only when GateMigration approves the
@@ -66,6 +66,18 @@ struct AdvisorConfig {
   /// > 0: re-plan every Nth window regardless of drift (the fixed-interval
   /// baseline; 1 = every window). 0: re-plan only on drift.
   int replan_interval_windows = 0;
+
+  /// Robust mode (DESIGN.md §10): when set, the initial plan, every
+  /// re-plan, and the incumbent pricing all run under this scenario
+  /// ensemble and objective instead of the point forecast — the advisor
+  /// hedges against the forecast being wrong, not just against observed
+  /// drift. Scenario models default to the problem's workload (or, after a
+  /// classification switch, the re-plan's model) and their io_scale
+  /// composes onto the re-plan's hint. Must outlive the advisor.
+  const ScenarioEnsemble* ensemble = nullptr;
+
+  /// Objective over `ensemble`; ignored when `ensemble` is null.
+  EnsembleObjective ensemble_objective;
 };
 
 /// What the advisor decided after observing one window.

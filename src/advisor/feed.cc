@@ -1,8 +1,44 @@
 #include "advisor/feed.h"
 
+#include <cmath>
+#include <string>
+
 #include "common/check.h"
 
 namespace dot {
+
+namespace {
+
+/// OK iff `event` is something the virtual clock and the drift machinery
+/// can digest. `clock_hours` is the virtual time the previous event ended
+/// at; the comparison is written so that a NaN start also fails it.
+Status ValidateEvent(const TraceEvent& event, double clock_hours) {
+  const std::string where = "trace window " + std::to_string(event.window);
+  if (!(event.start_hours >= clock_hours - 1e-9) ||
+      !std::isfinite(event.start_hours)) {
+    return Status::InvalidArgument(
+        where + ": events must arrive in virtual-time order");
+  }
+  if (!(event.duration_hours > 0.0) || !std::isfinite(event.duration_hours)) {
+    return Status::InvalidArgument(where + ": non-positive duration");
+  }
+  if (event.io_by_object.empty()) {
+    return Status::InvalidArgument(where + ": empty window (no observed "
+                                           "objects)");
+  }
+  for (const IoVector& io : event.io_by_object) {
+    for (IoType t : kAllIoTypes) {
+      const double count = io[t];
+      if (!(count >= 0.0) || !std::isfinite(count)) {
+        return Status::InvalidArgument(
+            where + ": negative or non-finite I/O count");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 RecordedTraceFeed::RecordedTraceFeed(const WorkloadTrace* trace)
     : trace_(trace) {
@@ -20,19 +56,20 @@ FeedPlayer::FeedPlayer(TraceFeed* feed) : feed_(feed) {
   DOT_CHECK(feed_ != nullptr);
 }
 
-int FeedPlayer::Play(const Observer& observe) {
+Status FeedPlayer::Play(const Observer& observe, int* delivered) {
   DOT_CHECK(observe != nullptr);
-  int delivered = 0;
+  int count = 0;
+  if (delivered != nullptr) *delivered = 0;
   TraceEvent event;
   while (feed_->Next(&event)) {
-    DOT_CHECK(event.start_hours >= clock_hours_ - 1e-9)
-        << "trace events must arrive in virtual-time order";
-    DOT_CHECK(event.duration_hours > 0.0);
+    const Status valid = ValidateEvent(event, clock_hours_);
+    if (!valid.ok()) return valid;
     observe(event);
     clock_hours_ = event.start_hours + event.duration_hours;
-    ++delivered;
+    ++count;
+    if (delivered != nullptr) *delivered = count;
   }
-  return delivered;
+  return Status::OK();
 }
 
 }  // namespace dot

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/status.h"
 #include "workload/trace.h"
 
 namespace dot {
@@ -48,10 +49,15 @@ class FeedPlayer {
   /// `feed` must outlive the player.
   explicit FeedPlayer(TraceFeed* feed);
 
-  /// Drains the feed, invoking `observe` once per event in order. Returns
-  /// the number of events delivered. Aborts via DOT_CHECK on a
-  /// non-monotone event stream.
-  int Play(const Observer& observe);
+  /// Drains the feed, invoking `observe` once per event in order.
+  /// Malformed events — non-monotone or non-finite start times, a
+  /// non-positive duration, an empty I/O map, negative or non-finite
+  /// counts — stop the drain with InvalidArgument naming the offending
+  /// window instead of crashing: a live feed is untrusted input, and the
+  /// always-on loop must degrade gracefully. Events *before* the bad one
+  /// stay delivered (the observer has already seen them), and `delivered`
+  /// (if non-null) receives the count either way.
+  Status Play(const Observer& observe, int* delivered = nullptr);
 
   /// Virtual time after the last delivered event, hours.
   double clock_hours() const { return clock_hours_; }

@@ -53,9 +53,12 @@ CandidateEval CandidateEvaluator::EvaluateOneWith(
     eval.toc = std::numeric_limits<double>::infinity();
     return eval;
   }
+  // EstimateToc owns the SLA verdict: MeetsTargets on the point forecast,
+  // the chance constraint under an ensemble.
+  bool sla_ok = false;
   eval.toc = estimator.EstimateToc(layout, &eval.estimate,
-                                   &eval.cost_cents_per_hour);
-  eval.feasible = MeetsTargets(eval.estimate, estimator.targets());
+                                   &eval.cost_cents_per_hour, &sla_ok);
+  eval.feasible = sla_ok;
   if (!eval.feasible) eval.toc = std::numeric_limits<double>::infinity();
   return eval;
 }

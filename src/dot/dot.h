@@ -25,6 +25,7 @@
 #include "common/thread_pool.h"
 #include "dot/bnb_search.h"
 #include "dot/candidate_evaluator.h"
+#include "dot/ensemble.h"
 #include "dot/eval_tables.h"
 #include "dot/exhaustive.h"
 #include "dot/layout.h"
@@ -53,6 +54,7 @@
 #include "workload/htap_workload.h"
 #include "workload/oltp_workload.h"
 #include "workload/profiler.h"
+#include "workload/scenario.h"
 #include "workload/tpcc_workload.h"
 #include "workload/tpch_queries.h"
 #include "workload/trace.h"

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "dot/ensemble.h"
 #include "dot/sla.h"
 #include "storage/pricing.h"
 
@@ -27,6 +28,15 @@ FastEvaluator::FastEvaluator(const DotOptimizer& estimator)
     // DSS workload) is degenerate but legal — MeetsTargets just finds every
     // candidate infeasible. The scorers assume matching caps, so leave the
     // fast path disabled and let the full path produce that verdict.
+    return;
+  }
+  if (problem.ensemble != nullptr) {
+    // Robust mode: K child scorers under the ensemble aggregation. Null
+    // (some scenario model offers no fast scorer) leaves the fast path
+    // disabled, exactly like a point forecast without one.
+    scorer_ = MakeEnsembleScorer(*problem.workload, *problem.ensemble,
+                                 problem.ensemble_objective,
+                                 problem.io_scale_hint, targets);
     return;
   }
   scorer_ = problem.workload->MakeFastScorer(

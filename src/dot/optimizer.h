@@ -1,9 +1,11 @@
 #ifndef DOTPROV_DOT_OPTIMIZER_H_
 #define DOTPROV_DOT_OPTIMIZER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "dot/ensemble.h"
 #include "dot/layout.h"
 #include "dot/problem.h"
 #include "dot/sla.h"
@@ -72,16 +74,23 @@ class DotOptimizer {
 
   /// estimateTOC(W, L): workload estimate and TOC in cents/task under the
   /// problem's cost model (applies the refinement io_scale hint if set).
+  /// Under an ensemble the returned TOC is the ensemble objective
+  /// (E[TOC] or CVaR) and `estimate_out` receives scenario 0's estimate.
   /// `cost_out` (if non-null) receives C(L) in cents/hour — the numerator
   /// the TOC was computed from, so callers need not recompute it.
+  /// `sla_ok_out` (if non-null) receives the SLA verdict — MeetsTargets on
+  /// the point forecast, the chance constraint under an ensemble — which is
+  /// the verdict callers must use for feasibility (judging the nominal
+  /// estimate alone would ignore the ensemble's miss mass).
   double EstimateToc(const std::vector<int>& placement,
-                     PerfEstimate* estimate_out,
-                     double* cost_out = nullptr) const;
+                     PerfEstimate* estimate_out, double* cost_out = nullptr,
+                     bool* sla_ok_out = nullptr) const;
 
   /// Overload for callers that already hold a Layout (the candidate-
   /// evaluation hot loop), skipping the placement re-validation and copy.
   double EstimateToc(const Layout& layout, PerfEstimate* estimate_out,
-                     double* cost_out = nullptr) const;
+                     double* cost_out = nullptr,
+                     bool* sla_ok_out = nullptr) const;
 
   /// The targets implied by the problem's relative SLA.
   const PerfTargets& targets() const { return targets_; }
@@ -89,9 +98,16 @@ class DotOptimizer {
   /// The problem instance this optimizer was built for.
   const DotProblem& problem() const { return problem_; }
 
+  /// True when the problem carries a scenario ensemble (robust mode).
+  bool has_ensemble() const { return ensemble_ != nullptr; }
+
  private:
   DotProblem problem_;
   PerfTargets targets_;
+
+  /// Full-path ensemble evaluation; null in point-forecast mode. (Makes
+  /// the optimizer move-only, which every caller already respects.)
+  std::unique_ptr<EnsembleEstimator> ensemble_;
 };
 
 /// Repeatedly relaxes the relative SLA by `relax_factor` until `optimize`

@@ -4,10 +4,12 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "dot/ensemble.h"
 #include "dot/sla.h"
 #include "storage/pricing.h"
 #include "storage/storage_class.h"
 #include "workload/profiler.h"
+#include "workload/scenario.h"
 #include "workload/workload.h"
 
 namespace dot {
@@ -89,8 +91,26 @@ struct DotProblem {
   /// targets derived from `relative_sla` on this box — the §5.1 generalized
   /// provisioning problem needs one common constraint set T across all
   /// candidate configurations, not per-box relative ones. Must outlive the
-  /// optimization run.
+  /// optimization run. Takes precedence over `tail_sla` (an override is an
+  /// already-derived constraint set; tail tightening happens at
+  /// derivation).
   const PerfTargets* targets_override = nullptr;
+
+  /// Optional percentile response-time target folded into the derived caps
+  /// (DESIGN.md §10.4). Default (percentile 0) leaves target derivation
+  /// bit-identical to the mean-only path.
+  TailSla tail_sla;
+
+  /// Optional scenario ensemble (DESIGN.md §10). When set, every candidate
+  /// is scored under `ensemble_objective` across these scenarios instead of
+  /// the nominal point forecast; scenario models default to `workload`, and
+  /// their io_scale composes onto `io_scale_hint`. Must outlive the run.
+  /// A K=1 nominal ensemble reproduces the point-forecast optimization bit
+  /// for bit (same placements, same TOC, same prune counts).
+  const ScenarioEnsemble* ensemble = nullptr;
+
+  /// What "best over the ensemble" means; ignored when `ensemble` is null.
+  EnsembleObjective ensemble_objective;
 
   /// Engine knobs (threads, fast path, ablation switches) as one block.
   SearchOptions options;

@@ -24,15 +24,25 @@ SolveResult FromDot(DotResult result) {
 SolveResult Solve(const DotProblem& problem, const SolveSpec& spec) {
   DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
             problem.workload != nullptr);
+  // The spec's ensemble overlays the problem's for this call — a local
+  // copy keeps the caller's problem untouched and the overlay scoped.
+  DotProblem p = problem;
+  if (spec.ensemble != nullptr) {
+    DOT_CHECK(spec.method != SolveMethod::kEpochPlan)
+        << "ensemble mode is single-shot; kEpochPlan re-derives per-epoch "
+           "point problems";
+    p.ensemble = spec.ensemble;
+    p.ensemble_objective = spec.ensemble_objective;
+  }
   switch (spec.method) {
     case SolveMethod::kDotHeuristic:
-      return FromDot(DotOptimizer(problem).Optimize());
+      return FromDot(DotOptimizer(p).Optimize());
     case SolveMethod::kExact:
-      return FromDot(ExactSearch(problem, ExactStrategy::kBranchAndBound,
+      return FromDot(ExactSearch(p, ExactStrategy::kBranchAndBound,
                                  spec.max_layouts, spec.warm_starts));
     case SolveMethod::kEnumerate:
       return FromDot(
-          ExactSearch(problem, ExactStrategy::kEnumerate, spec.max_layouts));
+          ExactSearch(p, ExactStrategy::kEnumerate, spec.max_layouts));
     case SolveMethod::kEpochPlan: {
       ReprovisionConfig config;
       config.relative_sla = problem.relative_sla;

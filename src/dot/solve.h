@@ -46,6 +46,18 @@ struct SolveSpec {
   /// Tightens pruning; provably cannot change the result (bnb_search.h).
   const std::vector<std::vector<int>>* warm_starts = nullptr;
 
+  // --- robust (ensemble) mode — single-shot methods only ---
+
+  /// When set, overlays DotProblem::ensemble for this call: candidates are
+  /// scored under `ensemble_objective` across these scenarios instead of
+  /// the point forecast (DESIGN.md §10). Must outlive the call. Incompatible
+  /// with kEpochPlan (the epoch DP re-derives per-epoch point problems);
+  /// Solve() aborts on that combination rather than silently ignoring it.
+  const ScenarioEnsemble* ensemble = nullptr;
+
+  /// Objective over `ensemble`; ignored when `ensemble` is null.
+  EnsembleObjective ensemble_objective;
+
   // --- kEpochPlan only ---
 
   /// The epochs to plan across. Null = one epoch of problem.workload with

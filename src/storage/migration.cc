@@ -86,7 +86,11 @@ MigrationVerdict GateMigration(const MigrationCostModel& model,
                                double candidate_toc_cents_per_task,
                                double horizon_hours,
                                double migration_weight) {
-  DOT_CHECK(horizon_hours >= 0.0);
+  // A negative horizon means "no future to amortize over": clamp to 0 (the
+  // gate then never fires) instead of aborting — the advisor feeds this
+  // from config and clock arithmetic, and a degenerate horizon should
+  // degrade to "don't move", not crash the loop.
+  horizon_hours = std::max(0.0, horizon_hours);
   DOT_CHECK(migration_weight >= 0.0);
   MigrationVerdict verdict;
   verdict.bill = EstimateMigration(model, box, schema, from, to);

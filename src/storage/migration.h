@@ -105,6 +105,16 @@ struct MigrationVerdict {
 /// planner's weight unit, e.g. 1 / best-case tasks-per-hour). Both TOC
 /// inputs must be priced under the same model for the delta to mean
 /// anything. Strict inequality on both tests: a tie never moves data.
+///
+/// Edge cases (pinned by storage_migration_test):
+///   * toc_delta exactly 0 never migrates — even at a zero bill, there is
+///     no saving to pay for the operational risk of moving data;
+///   * horizon_hours ≤ 0 never migrates (no future to amortize over;
+///     negative horizons clamp to 0 rather than abort, so a caller-side
+///     clock underrun degrades to "don't move" instead of crashing);
+///   * a zero bill still demands a strictly positive projected saving;
+///   * `from`/`to` not placing every schema object is a programmer error
+///     and aborts via DOT_CHECK (inside EstimateMigration).
 MigrationVerdict GateMigration(const MigrationCostModel& model,
                                const BoxConfig& box, const Schema& schema,
                                const std::vector<int>& from,

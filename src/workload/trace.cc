@@ -37,9 +37,10 @@ Status ValidateTraceSpec(const WorkloadTraceSpec& spec) {
                                      " has non-positive duration");
     }
     for (double s : win.io_scale) {
-      if (!(s >= 0.0)) {
+      if (!(s >= 0.0) || !std::isfinite(s)) {
         return Status::InvalidArgument("window " + std::to_string(w) +
-                                       " has negative io_scale");
+                                       " has negative or non-finite "
+                                       "io_scale");
       }
     }
   }

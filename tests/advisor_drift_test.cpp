@@ -138,6 +138,105 @@ TEST(DriftDetectorTest, CountFloorBoundsNearIdleBaselines) {
   EXPECT_TRUE(detector.drifted());
 }
 
+// --- bursty-noise behaviour -------------------------------------------
+//
+// False-positive rate bound. The statistic is a one-sided CUSUM,
+//   S ← max(0, S + (deviation − deadband)),
+// so (a) any noise whose per-window deviation stays ≤ deadband keeps
+// S ≡ 0 — the false-positive rate is exactly zero, however long the noise
+// persists; and (b) a burst of b consecutive windows at deviation s >
+// deadband raises S by exactly b·(s − deadband), so it can trigger only
+// when b·(s − deadband) ≥ trigger. Between bursts, every in-deadband
+// window *drains* S by (deadband − deviation); after ceil(b·(s −
+// deadband)/deadband) quiet windows the burst is fully forgotten. Hence
+// bursty noise with bursts shorter than trigger/(s − deadband) windows,
+// separated by at least that many quiet windows, never fires — the
+// advisor only re-plans on shifts that persist.
+
+TEST(DriftDetectorTest, NoiseWithinDeadbandNeverAccumulates) {
+  DriftConfig config;
+  config.ewma_alpha = 1.0;  // no smoothing: the raw windows are the noise
+  config.deadband = 0.0625;  // exact in binary, so the arithmetic is too
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(16.0));
+  // Deviations alternate 0 and 1/16 = deadband (inclusive edge): nothing
+  // ever accumulates, so zero false positives at any run length.
+  for (int w = 0; w < 1000; ++w) {
+    detector.Update(OneCell(w % 2 == 0 ? 16.0 : 17.0));
+    EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+    EXPECT_FALSE(detector.drifted());
+  }
+}
+
+TEST(DriftDetectorTest, ShortBurstsAboveDeadbandLeakAwayBetweenBursts) {
+  DriftConfig config;
+  config.ewma_alpha = 1.0;
+  config.deadband = 0.0625;
+  config.trigger = 0.5;
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(16.0));
+  // Each cycle: a 2-window burst at deviation 0.25 (excess 0.1875/window,
+  // peak S = 0.375 < trigger) followed by 6 quiet windows draining
+  // 0.0625 each (6 · 0.0625 = 0.375 — fully forgotten). No cycle count
+  // can ever trip the detector: bursts don't compound across gaps.
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    detector.Update(OneCell(20.0));
+    detector.Update(OneCell(20.0));
+    EXPECT_DOUBLE_EQ(detector.statistic(), 0.375);
+    EXPECT_FALSE(detector.drifted());
+    for (int q = 0; q < 6; ++q) detector.Update(OneCell(16.0));
+    EXPECT_DOUBLE_EQ(detector.statistic(), 0.0);
+  }
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(DriftDetectorTest, SustainedBurstCrossesTheDocumentedThreshold) {
+  // The same burst, persisted: b·(s − deadband) ≥ trigger fires. With
+  // s = 0.25, deadband = 0.0625, trigger = 0.5: 2 windows accumulate
+  // 0.375 (quiet), the 3rd reaches 0.5625 ≥ 0.5 — exactly the
+  // ceil(trigger/(s − deadband)) = 3 latency the bound predicts.
+  DriftConfig config;
+  config.ewma_alpha = 1.0;
+  config.deadband = 0.0625;
+  config.trigger = 0.5;
+  DriftDetector detector(config);
+  detector.Rebase(OneCell(16.0));
+  detector.Update(OneCell(20.0));
+  detector.Update(OneCell(20.0));
+  EXPECT_FALSE(detector.drifted());
+  detector.Update(OneCell(20.0));
+  EXPECT_DOUBLE_EQ(detector.statistic(), 0.5625);
+  EXPECT_TRUE(detector.drifted());
+}
+
+TEST(DriftDetectorTest, SmoothingAttenuatesSpikeDeviation) {
+  // The EWMA's role against spikes: once primed, a one-window spike moves
+  // the smoothed profile by only alpha of its raw size, so the deviation a
+  // single outlier can inject is alpha·s — an alpha-smoothed detector
+  // needs a 1/alpha-times-larger spike to accumulate the same excess.
+  // (Suppression of *repeated* short bursts is the deadband's job — see
+  // the burst tests above. Note the EWMA initializes outright on the first
+  // window after a Rebase, so a spike in that very window is unattenuated.)
+  DriftConfig config;
+  config.ewma_alpha = 0.3;
+  config.deadband = 0.05;
+  config.trigger = 0.5;
+  DriftDetector smoothed(config);
+  smoothed.Rebase(OneCell(16.0));
+  smoothed.Update(OneCell(16.0));  // prime the EWMA with the baseline
+  smoothed.Update(OneCell(32.0));  // spike: raw relative size 1.0
+  EXPECT_NEAR(smoothed.deviation(), 0.3, 1e-12);
+  EXPECT_FALSE(smoothed.drifted());
+
+  config.ewma_alpha = 1.0;  // same spike, unsmoothed: trips on the spot
+  DriftDetector raw(config);
+  raw.Rebase(OneCell(16.0));
+  raw.Update(OneCell(16.0));
+  raw.Update(OneCell(32.0));
+  EXPECT_DOUBLE_EQ(raw.deviation(), 1.0);
+  EXPECT_TRUE(raw.drifted());
+}
+
 TEST(DriftDetectorTest, DeviationSumsOverAllObjectsAndClasses) {
   DriftConfig config;
   config.ewma_alpha = 1.0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "catalog/tpcc_schema.h"
 #include "catalog/tpch_schema.h"
 #include "storage/standard_catalog.h"
@@ -79,6 +81,95 @@ TEST_F(SlaTest, ThroughputTargets) {
   const double psr = Psr(slow, t);
   EXPECT_TRUE(psr == 0.0 || psr == 1.0);
   EXPECT_EQ(MeetsTargets(slow, t), psr == 1.0);
+}
+
+// --- tail-latency targets (DESIGN.md §10.4) ---------------------------
+
+TEST(TailSlaTest, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-7);
+  EXPECT_NEAR(NormalQuantile(0.99), 2.3263478740408408, 1e-7);
+  // Symmetry: z_{1-p} = -z_p.
+  EXPECT_NEAR(NormalQuantile(0.05), -NormalQuantile(0.95), 1e-7);
+  EXPECT_DEATH((void)NormalQuantile(0.0), "quantile");
+  EXPECT_DEATH((void)NormalQuantile(1.0), "quantile");
+}
+
+TEST(TailSlaTest, TailFactorProperties) {
+  // Disabled configurations change nothing, exactly.
+  EXPECT_EQ(TailLatencyFactor(0.0, 0.3), 1.0);
+  EXPECT_EQ(TailLatencyFactor(0.5, 0.3), 1.0);
+  EXPECT_EQ(TailLatencyFactor(0.95, 0.0), 1.0);
+
+  // Above the median the tail sits above the mean, monotonically in both
+  // the percentile and the jitter.
+  const double f95 = TailLatencyFactor(0.95, 0.25);
+  const double f99 = TailLatencyFactor(0.99, 0.25);
+  EXPECT_GT(f95, 1.0);
+  EXPECT_GT(f99, f95);
+  EXPECT_GT(TailLatencyFactor(0.95, 0.5), f95);
+
+  // Closed form: sigma^2 = ln(1 + cv^2), factor = exp(sigma z - sigma^2/2).
+  const double sigma = std::sqrt(std::log(1.0 + 0.25 * 0.25));
+  EXPECT_NEAR(f95,
+              std::exp(sigma * NormalQuantile(0.95) - 0.5 * sigma * sigma),
+              1e-12);
+  EXPECT_DEATH((void)TailLatencyFactor(1.0, 0.3), "percentile");
+}
+
+TEST(TailSlaTest, CalibrationRecoversTheCv) {
+  // Degenerate inputs calibrate to "no jitter".
+  EXPECT_EQ(CalibrateLatencyCv({}), 0.0);
+  EXPECT_EQ(CalibrateLatencyCv({5.0}), 0.0);
+  EXPECT_EQ(CalibrateLatencyCv({4.0, 4.0, 4.0}), 0.0);
+
+  // Known mean 10, sample stddev 2 -> cv 0.2 (exact arithmetic).
+  EXPECT_DOUBLE_EQ(CalibrateLatencyCv({8.0, 12.0, 8.0, 12.0}),
+                   std::sqrt(16.0 / 3.0) / 10.0);
+}
+
+TEST_F(SlaTest, TailTargetTightensResponseTimeCaps) {
+  TailSla tail;
+  tail.percentile = 0.95;
+  tail.latency_cv = 0.25;
+  const PerfTargets mean_only =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 0.5);
+  const PerfTargets tailed = MakePerfTargets(
+      workload_, box_, schema_.NumObjects(), 0.5, /*io_scale=*/{}, tail);
+  const double factor = TailLatencyFactor(0.95, 0.25);
+  ASSERT_EQ(tailed.query_caps_ms.size(), mean_only.query_caps_ms.size());
+  for (size_t i = 0; i < tailed.query_caps_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tailed.query_caps_ms[i],
+                     mean_only.query_caps_ms[i] / factor);
+    EXPECT_LT(tailed.query_caps_ms[i], mean_only.query_caps_ms[i]);
+  }
+  EXPECT_DOUBLE_EQ(tailed.tail_percentile, 0.95);
+  // The best case itself is measured, not tightened.
+  EXPECT_EQ(tailed.best_case.unit_times_ms, mean_only.best_case.unit_times_ms);
+}
+
+TEST_F(SlaTest, DefaultTailSlaIsBitIdenticalToMeanOnlyTargets) {
+  const PerfTargets mean_only =
+      MakePerfTargets(workload_, box_, schema_.NumObjects(), 0.5);
+  const PerfTargets defaulted = MakePerfTargets(
+      workload_, box_, schema_.NumObjects(), 0.5, /*io_scale=*/{}, TailSla{});
+  EXPECT_EQ(defaulted.query_caps_ms, mean_only.query_caps_ms);
+  EXPECT_EQ(defaulted.tail_percentile, 0.0);
+}
+
+TEST(TailSlaTest, ThroughputTargetsIgnoreTheTail) {
+  Schema tpcc = MakeTpccSchema(300);
+  BoxConfig box2 = MakeBox2();
+  auto oltp = MakeTpccWorkload(&tpcc, &box2, TpccConfig{});
+  TailSla tail;
+  tail.percentile = 0.99;
+  tail.latency_cv = 0.5;
+  const PerfTargets plain =
+      MakePerfTargets(*oltp, box2, tpcc.NumObjects(), 0.25);
+  const PerfTargets tailed = MakePerfTargets(*oltp, box2, tpcc.NumObjects(),
+                                             0.25, /*io_scale=*/{}, tail);
+  EXPECT_DOUBLE_EQ(tailed.min_tpmc, plain.min_tpmc);
+  EXPECT_EQ(tailed.tail_percentile, 0.0);
 }
 
 TEST_F(SlaTest, RejectsOutOfRangeSla) {

@@ -104,5 +104,109 @@ TEST_F(MigrationTest, LayoutBillSumsExactlyTheMovedObjects) {
   EXPECT_GT(est.hours, 0.0);
 }
 
+TEST_F(MigrationTest, GateMigratesOnlyWhenTheSavingBeatsTheBill) {
+  MigrationCostModel model;
+  model.transfer_price_cents_per_gb = 1.0;
+  const std::vector<int> from{0, 0, 0};
+  const std::vector<int> to{2, 2, 2};
+
+  // A large enough operating advantage over a long enough horizon pays.
+  const MigrationVerdict go =
+      GateMigration(model, box_, schema_, from, to,
+                    /*incumbent_toc=*/10.0, /*candidate_toc=*/1.0,
+                    /*horizon_hours=*/1000.0, /*migration_weight=*/1.0);
+  EXPECT_TRUE(go.migrate);
+  EXPECT_DOUBLE_EQ(go.toc_delta_cents_per_task, 9.0);
+  EXPECT_DOUBLE_EQ(go.projected_saving, 9000.0);
+  EXPECT_GT(go.weighted_bill, 0.0);
+
+  // Same move, but the horizon is too short to amortize the bill.
+  const MigrationVerdict no =
+      GateMigration(model, box_, schema_, from, to, 10.0, 1.0,
+                    /*horizon_hours=*/1e-9, 1.0);
+  EXPECT_FALSE(no.migrate);
+}
+
+TEST_F(MigrationTest, GateZeroHorizonNeverMigrates) {
+  // horizon 0 = no future to amortize over: even a free move with a huge
+  // operating advantage stays put (projected saving is exactly 0, and the
+  // gate demands it strictly exceed the bill).
+  const MigrationCostModel free_model;
+  const std::vector<int> from{0, 0, 0};
+  const std::vector<int> to{2, 2, 2};
+  const MigrationVerdict verdict = GateMigration(
+      free_model, box_, schema_, from, to, /*incumbent_toc=*/100.0,
+      /*candidate_toc=*/1.0, /*horizon_hours=*/0.0, /*weight=*/0.0);
+  EXPECT_FALSE(verdict.migrate);
+  EXPECT_DOUBLE_EQ(verdict.projected_saving, 0.0);
+}
+
+TEST_F(MigrationTest, GateNegativeHorizonClampsToZero) {
+  // A degenerate (negative) horizon from caller-side clock arithmetic
+  // degrades to "don't move" rather than aborting — and in particular must
+  // not flip the sign of a negative delta into a phantom saving.
+  const MigrationCostModel free_model;
+  const std::vector<int> from{0, 0, 0};
+  const std::vector<int> to{2, 2, 2};
+  const MigrationVerdict verdict = GateMigration(
+      free_model, box_, schema_, from, to, /*incumbent_toc=*/1.0,
+      /*candidate_toc=*/2.0, /*horizon_hours=*/-24.0, /*weight=*/1.0);
+  EXPECT_FALSE(verdict.migrate);
+  EXPECT_DOUBLE_EQ(verdict.projected_saving, 0.0);
+}
+
+TEST_F(MigrationTest, GateExactlyZeroDeltaNeverMigrates) {
+  // A tie in TOC never moves data, even when the bill is exactly zero:
+  // there is no saving to pay for the operational risk.
+  const MigrationCostModel free_model;
+  const std::vector<int> from{0, 0, 0};
+  const std::vector<int> to{2, 2, 2};
+  const MigrationVerdict verdict =
+      GateMigration(free_model, box_, schema_, from, to,
+                    /*incumbent_toc=*/5.0, /*candidate_toc=*/5.0,
+                    /*horizon_hours=*/1000.0, /*weight=*/1.0);
+  EXPECT_DOUBLE_EQ(verdict.toc_delta_cents_per_task, 0.0);
+  EXPECT_DOUBLE_EQ(verdict.weighted_bill, 0.0);
+  EXPECT_FALSE(verdict.migrate);
+}
+
+TEST_F(MigrationTest, GateZeroBillStillDemandsStrictSaving) {
+  const MigrationCostModel free_model;
+  const std::vector<int> from{0, 0, 0};
+  const std::vector<int> to{2, 2, 2};
+  // Any strictly positive saving clears a zero bill...
+  EXPECT_TRUE(GateMigration(free_model, box_, schema_, from, to, 5.0 + 1e-6,
+                            5.0, 1.0, 1.0)
+                  .migrate);
+  // ...but a negative delta (candidate worse) never does.
+  EXPECT_FALSE(
+      GateMigration(free_model, box_, schema_, from, to, 5.0, 6.0, 1.0, 1.0)
+          .migrate);
+}
+
+TEST_F(MigrationTest, GateIdentityMoveIsFreeAndStaysPut) {
+  // from == to: the bill is exactly zero and nothing migrates regardless
+  // of the TOC delta (the candidate IS the incumbent).
+  MigrationCostModel model;
+  model.transfer_price_cents_per_gb = 3.0;
+  const std::vector<int> layout{1, 0, 2};
+  const MigrationVerdict verdict = GateMigration(
+      model, box_, schema_, layout, layout, 10.0, 10.0, 1000.0, 1.0);
+  EXPECT_EQ(verdict.bill.objects_moved, 0);
+  EXPECT_DOUBLE_EQ(verdict.bill.cents, 0.0);
+  EXPECT_FALSE(verdict.migrate);
+}
+
+TEST_F(MigrationTest, GateAbortsOnPlacementArityMismatch) {
+  // An endpoint that does not place every schema object is a programmer
+  // error, not untrusted input: the gate aborts instead of guessing.
+  const MigrationCostModel model;
+  const std::vector<int> ok{0, 0, 0};
+  const std::vector<int> short_placement{0, 0};
+  EXPECT_DEATH(GateMigration(model, box_, schema_, short_placement, ok, 2.0,
+                             1.0, 24.0, 1.0),
+               "every schema object");
+}
+
 }  // namespace
 }  // namespace dot

@@ -1,0 +1,147 @@
+// Unit tests of the scenario-ensemble sampler (workload/scenario.h):
+// structure (scenario 0 is the exact nominal), determinism in the noise
+// spec, weight normalization, and the io_scale composition the bit-identity
+// contract of robust mode rests on.
+
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dot {
+namespace {
+
+TEST(ScenarioEnsembleTest, SamplerShapeAndNominalScenario) {
+  ScenarioNoise noise;
+  noise.num_scenarios = 8;
+  noise.io_scale_cv = 0.2;
+  const ScenarioEnsemble ensemble = SampleScenarioEnsemble(5, noise);
+  ASSERT_EQ(ensemble.size(), 8);
+
+  // Scenario 0 is the exact nominal: no model override, no scaling — the
+  // point forecast itself, so a K=1 ensemble degenerates to it.
+  EXPECT_EQ(ensemble.scenarios[0].model, nullptr);
+  EXPECT_TRUE(ensemble.scenarios[0].io_scale.empty());
+  EXPECT_EQ(ensemble.scenarios[0].label, "nominal");
+
+  for (int k = 1; k < ensemble.size(); ++k) {
+    const Scenario& sc = ensemble.scenarios[static_cast<size_t>(k)];
+    ASSERT_EQ(sc.io_scale.size(), 5u) << sc.label;
+    for (double s : sc.io_scale) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_GT(s, 0.0);  // lognormal factors are strictly positive
+    }
+    EXPECT_DOUBLE_EQ(sc.weight, 1.0);  // equal-weight sampling
+  }
+}
+
+TEST(ScenarioEnsembleTest, SamplingIsDeterministicInTheNoiseSpec) {
+  ScenarioNoise noise;
+  noise.num_scenarios = 6;
+  noise.io_scale_cv = 0.3;
+  noise.count_cv = 0.1;
+  noise.seed = 42;
+  const ScenarioEnsemble a = SampleScenarioEnsemble(4, noise);
+  const ScenarioEnsemble b = SampleScenarioEnsemble(4, noise);
+  ASSERT_EQ(a.size(), b.size());
+  for (int k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.scenarios[static_cast<size_t>(k)].io_scale,
+              b.scenarios[static_cast<size_t>(k)].io_scale)
+        << "scenario " << k;
+  }
+
+  noise.seed = 43;
+  const ScenarioEnsemble c = SampleScenarioEnsemble(4, noise);
+  EXPECT_NE(a.scenarios[1].io_scale, c.scenarios[1].io_scale)
+      << "different seeds should perturb differently";
+}
+
+TEST(ScenarioEnsembleTest, CountNoiseAloneScalesUniformly) {
+  // count_cv without io_scale_cv: the whole workload runs hotter or
+  // colder, so each scenario's factors are constant across objects.
+  ScenarioNoise noise;
+  noise.num_scenarios = 4;
+  noise.io_scale_cv = 0.0;
+  noise.count_cv = 0.25;
+  const ScenarioEnsemble ensemble = SampleScenarioEnsemble(6, noise);
+  for (int k = 1; k < ensemble.size(); ++k) {
+    const std::vector<double>& scale =
+        ensemble.scenarios[static_cast<size_t>(k)].io_scale;
+    ASSERT_EQ(scale.size(), 6u);
+    for (double s : scale) EXPECT_DOUBLE_EQ(s, scale[0]);
+  }
+}
+
+TEST(ScenarioEnsembleTest, NoNoiseLeavesScenariosNominal) {
+  ScenarioNoise noise;
+  noise.num_scenarios = 3;
+  noise.io_scale_cv = 0.0;
+  noise.count_cv = 0.0;
+  const ScenarioEnsemble ensemble = SampleScenarioEnsemble(4, noise);
+  for (const Scenario& sc : ensemble.scenarios) {
+    EXPECT_TRUE(sc.io_scale.empty());
+    EXPECT_EQ(sc.model, nullptr);
+  }
+}
+
+TEST(ScenarioEnsembleTest, SingleScenarioEnsembleIsThePointForecast) {
+  ScenarioNoise noise;
+  noise.num_scenarios = 1;
+  noise.io_scale_cv = 0.5;  // irrelevant: scenario 0 is always exact
+  const ScenarioEnsemble ensemble = SampleScenarioEnsemble(3, noise);
+  ASSERT_EQ(ensemble.size(), 1);
+  EXPECT_TRUE(ensemble.scenarios[0].io_scale.empty());
+  // K=1 normalizes to exactly 1.0 — no division, no drift.
+  EXPECT_EQ(ensemble.NormalizedWeights(), std::vector<double>{1.0});
+}
+
+TEST(ScenarioEnsembleTest, WeightNormalization) {
+  ScenarioEnsemble ensemble;
+  ensemble.scenarios.resize(2);
+  ensemble.scenarios[0].weight = 2.0;
+  ensemble.scenarios[1].weight = 6.0;
+  const std::vector<double> w = ensemble.NormalizedWeights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+
+  ensemble.scenarios[1].weight = 0.0;
+  EXPECT_DEATH((void)ensemble.NormalizedWeights(), "weight");
+}
+
+TEST(ScenarioEnsembleTest, RejectsDegenerateNoiseSpecs) {
+  ScenarioNoise noise;
+  noise.num_scenarios = 0;
+  EXPECT_DEATH((void)SampleScenarioEnsemble(3, noise), "num_scenarios");
+  noise.num_scenarios = kMaxScenarios + 1;
+  EXPECT_DEATH((void)SampleScenarioEnsemble(3, noise), "num_scenarios");
+  noise.num_scenarios = 2;
+  noise.io_scale_cv = -0.1;
+  EXPECT_DEATH((void)SampleScenarioEnsemble(3, noise), "");
+}
+
+TEST(ComposeIoScaleTest, EmptySidePassesTheOtherThroughUnchanged) {
+  const std::vector<double> hint{1.5, 0.5, 2.0};
+  // Identity composition returns the values bit for bit — the K=1 and
+  // nominal-scenario reproduction contracts depend on this.
+  EXPECT_EQ(ComposeIoScale(hint, {}), hint);
+  EXPECT_EQ(ComposeIoScale({}, hint), hint);
+  EXPECT_TRUE(ComposeIoScale({}, {}).empty());
+}
+
+TEST(ComposeIoScaleTest, ComposesElementwise) {
+  const std::vector<double> a{2.0, 0.5, 1.0};
+  const std::vector<double> b{3.0, 4.0, 0.25};
+  const std::vector<double> c = ComposeIoScale(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 6.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.25);
+
+  EXPECT_DEATH((void)ComposeIoScale(a, {1.0, 2.0}), "arity");
+}
+
+}  // namespace
+}  // namespace dot
