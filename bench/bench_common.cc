@@ -97,11 +97,13 @@ DotProblem Instance::Problem(double relative_sla) const {
 }
 
 DotResult Instance::RunDot(double relative_sla) const {
-  DotResult r = DotOptimizer(Problem(relative_sla)).Optimize();
+  SolveSpec spec;
+  spec.method = SolveMethod::kDotHeuristic;
+  SolveResult r = Solve(Problem(relative_sla), spec);
   DOT_CHECK(r.status.ok()) << "DOT infeasible at SLA " << relative_sla
                            << " on " << box_.name << ": "
                            << r.status.ToString();
-  return r;
+  return std::move(r.dot);
 }
 
 Instance::Evaluation Instance::Evaluate(const std::vector<int>& placement,

@@ -53,14 +53,14 @@ DotResult SolveExact(const Schema& schema, const BoxConfig& box,
   problem.workload = &workload;
   problem.relative_sla = relative_sla;
   problem.options.num_threads = 0;
-  DotResult r = ExactSearch(problem, ExactStrategy::kBranchAndBound);
+  SolveResult r = Solve(problem);  // kExact default
   // The sweep compares optima, so every point must be feasible: relax like
   // the paper's Figure 2 loop if a ratio's combined caps are too tight.
   while (!r.status.ok() && problem.relative_sla > 0.02) {
     problem.relative_sla *= 0.9;
-    r = ExactSearch(problem, ExactStrategy::kBranchAndBound);
+    r = Solve(problem);
   }
-  return r;
+  return std::move(r.dot);
 }
 
 }  // namespace

@@ -104,7 +104,7 @@ int main() {
       p.workload = schedule.epochs[e].workload;
       p.relative_sla = relative_sla;
       p.options.num_threads = 0;
-      const DotResult r = ExactSearch(p, ExactStrategy::kBranchAndBound);
+      const SolveResult r = Solve(p);  // kExact default
       if (!r.status.ok()) {
         all_ok = false;
         break;
@@ -165,12 +165,27 @@ int main() {
     config.migration.transfer_price_cents_per_gb *= scale;
     config.migration.downtime_price_cents_per_hour *= scale;
     config.options.num_threads = 0;
+    // The plan itself goes through the facade (Solve builds exactly this
+    // config from the problem + spec); the planner instance remains for
+    // EvaluateSequence, the documented baseline-pricing entry point.
     ReprovisionPlanner planner(&schema, &box, config);
 
-    const ReprovisionPlan plan = planner.Plan(schedule, current);
-    if (!plan.status.ok()) {
+    DotProblem epoch_problem;
+    epoch_problem.schema = &schema;
+    epoch_problem.box = &box;
+    epoch_problem.workload = schedule.epochs[0].workload;
+    epoch_problem.relative_sla = relative_sla;
+    epoch_problem.options.num_threads = 0;
+    SolveSpec plan_spec;
+    plan_spec.method = SolveMethod::kEpochPlan;
+    plan_spec.schedule = &schedule;
+    plan_spec.current_layout = current;
+    plan_spec.migration = config.migration;
+    const SolveResult solved = Solve(epoch_problem, plan_spec);
+    const ReprovisionPlan& plan = solved.plan;
+    if (!solved.status.ok()) {
       std::cerr << "plan failed at scale " << scale << ": "
-                << plan.status.ToString() << "\n";
+                << solved.status.ToString() << "\n";
       return 1;
     }
     const ReprovisionPlan frozen =

@@ -323,7 +323,7 @@ int main(int argc, char** argv) {
            {"compliance_point", point_psr},
            {"relative_sla", robust_problem.relative_sla},
            {"layouts_evaluated",
-            static_cast<double>(robust.layouts_evaluated)}}));
+            static_cast<double>(robust.provenance.layouts_evaluated)}}));
     }
   }
   std::cout << "toc: raw measured TOC x duration out of sample "

@@ -25,7 +25,10 @@ int main() {
     DotProblem problem = inst->Problem(0.25);
     problem.cost_model.discrete = true;
     problem.cost_model.alpha = alpha;
-    DotResult r = DotOptimizer(problem).Optimize();
+    SolveSpec spec;
+    spec.method = SolveMethod::kDotHeuristic;
+    const SolveResult solved = Solve(problem, spec);
+    const DotResult& r = solved.dot;
     if (!r.status.ok()) {
       t.AddRow({StrPrintf("%.2f", alpha), "infeasible", "-", "-", "-"});
       continue;

@@ -183,7 +183,7 @@ void Advisor::Observe(const TraceEvent& event, AdvisorRun* run) {
     // once and a re-plan near the incumbent is nearly free.
     spec.warm_starts = &pool_;
     const SolveResult candidate = Solve(problem_, spec);
-    run->layouts_evaluated += candidate.layouts_evaluated;
+    run->layouts_evaluated += candidate.provenance.layouts_evaluated;
 
     if (candidate.status.ok()) {
       decision.candidate_toc = candidate.toc_cents_per_task;

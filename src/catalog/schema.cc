@@ -1,6 +1,7 @@
 #include "catalog/schema.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/units.h"
@@ -13,6 +14,36 @@ namespace {
 constexpr double kFillFactor = 0.9;
 // Per-entry overhead (item pointer + tuple header share) in index leaves.
 constexpr double kIndexEntryOverheadBytes = 16.0;
+
+// FNV-1a, the 64-bit variant: deterministic across platforms and runs
+// (unlike std::hash), and byte-order-stable because every field is fed
+// through its exact in-memory bytes on the fixed little-endian targets this
+// library supports.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(const void* data, size_t len, uint64_t* h) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= static_cast<uint64_t>(bytes[i]);
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t v, uint64_t* h) { HashBytes(&v, sizeof(v), h); }
+
+void HashDouble(double v, uint64_t* h) {
+  // Bit pattern, not value: the fingerprint must distinguish any stat
+  // change the evaluator could see, and the evaluator sees bits.
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  HashU64(bits, h);
+}
+
+void HashString(const std::string& s, uint64_t* h) {
+  HashU64(static_cast<uint64_t>(s.size()), h);
+  HashBytes(s.data(), s.size(), h);
+}
 
 }  // namespace
 
@@ -139,6 +170,22 @@ std::vector<ObjectGroup> Schema::MakeGroups() const {
     }
   }
   return groups;
+}
+
+uint64_t Schema::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  HashU64(static_cast<uint64_t>(objects_.size()), &h);
+  for (const DbObject& o : objects_) {
+    HashString(o.name, &h);
+    HashU64(static_cast<uint64_t>(o.kind), &h);
+    HashU64(static_cast<uint64_t>(static_cast<int64_t>(o.table_id)), &h);
+    HashDouble(o.size_gb, &h);
+    HashDouble(o.num_rows, &h);
+    HashDouble(o.row_bytes, &h);
+    HashU64(static_cast<uint64_t>(static_cast<int64_t>(o.height)), &h);
+    HashDouble(o.leaf_pages, &h);
+  }
+  return h;
 }
 
 Schema Schema::Subset(const std::vector<std::string>& names) const {

@@ -1,6 +1,7 @@
 #ifndef DOTPROV_CATALOG_SCHEMA_H_
 #define DOTPROV_CATALOG_SCHEMA_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,17 @@ class Schema {
   /// used by the §4.4.3 DOT-vs-ES experiments that operate on 8 of the 16
   /// TPC-H objects. Unknown names abort.
   Schema Subset(const std::vector<std::string>& names) const;
+
+  /// Deterministic 64-bit content hash over the object records *in id
+  /// order* — names, kinds, sizes, table links and index geometry all
+  /// contribute. Two schemas built through the same Add calls with the same
+  /// arguments hash equal; reordering objects (a column-order variant),
+  /// renaming, or any stat change produces a different value. This is the
+  /// key the fleet planner shares candidate pools / eval tables under
+  /// (fleet/fleet_planner.h): order sensitivity is deliberate, because
+  /// placements are vectors indexed by object id, so two schemas must agree
+  /// on the id order before they may share anything.
+  uint64_t Fingerprint() const;
 
  private:
   std::vector<DbObject> objects_;

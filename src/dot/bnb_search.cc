@@ -515,7 +515,10 @@ DotResult BranchAndBoundSearch(
                           : CandidateEvaluator::EvaluateOneWith(
                                 estimator, Layout(problem.schema,
                                                   problem.box, w));
-      if (eval.feasible) seed = std::min(seed, eval.toc);
+      if (eval.feasible) {
+        seed = std::min(seed, eval.toc);
+        ++result.warm_start_hits;
+      }
     }
   }
   sh.seed_incumbent = seed;

@@ -37,6 +37,12 @@ inline constexpr long long kDefaultMaxEnumeratedLayouts = 50'000'000;
 /// choice — bit-identical results, tractable on full benchmark schemas.
 /// `max_layouts` applies to kEnumerate only.
 ///
+/// Prefer dot::Solve(problem, spec) with SolveMethod::kExact / kEnumerate
+/// (dot/solve.h) over calling this directly: the facade is the documented
+/// entry point and returns the same DotResult in SolveResult::dot, bit for
+/// bit. ExactSearch remains public as the engine internal the facade (and
+/// the planners) drive.
+///
 /// `warm_starts` (optional, kBranchAndBound only) seeds the incumbent with
 /// the best feasible TOC among the given layouts before the tree search
 /// starts — the advisor loop passes its incumbent layout and cached

@@ -11,9 +11,10 @@
 ///   3. Describe the workload — a DssWorkloadModel over declarative query
 ///      templates, an OltpWorkloadModel over transaction footprints, or an
 ///      HtapWorkload composing both over one shared schema.
-///   4. Profile it (Profiler::ProfileWorkload), pick an SLA, and run
-///      DotOptimizer (or the full RunDotPipeline with validation and
-///      refinement).
+///   4. Profile it (Profiler::ProfileWorkload), pick an SLA, and call
+///      dot::Solve — SolveSpec picks the engine (heuristic, exact search,
+///      epoch planner, fleet planner; see dot/solve.h). The engine classes
+///      remain public as internals; Solve is the documented entry point.
 
 #include "advisor/advisor.h"
 #include "advisor/drift.h"
@@ -40,6 +41,8 @@
 #include "dot/solve.h"
 #include "dot/validator.h"
 #include "exec/executor.h"
+#include "fleet/fleet_planner.h"
+#include "fleet/synthetic_fleet.h"
 #include "exec/schedule_replay.h"
 #include "exec/trace_replay.h"
 #include "io/device_model.h"

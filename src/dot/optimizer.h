@@ -50,6 +50,12 @@ struct DotResult {
   long long nodes_pruned_infeasible = 0;  ///< capacity/SLA cannot be met
   long long layouts_pruned = 0;
 
+  /// Caller-supplied warm starts that were valid and feasible, i.e. that
+  /// actually seeded the branch-and-bound incumbent (0 for the other
+  /// strategies and when no warm starts were passed). Diagnostics for the
+  /// SolveResult provenance block; cannot affect the search result.
+  int warm_start_hits = 0;
+
   /// DSS plan-cache traffic of the run's fast evaluation path (both 0 for
   /// OLTP models, which have no plan cache, and when the fast path is
   /// disabled; HTAP models report their analytic side's cache). Diagnostics
@@ -66,6 +72,12 @@ struct DotResult {
 /// (everything on the most expensive class), apply the score-ordered move
 /// sequence from enumerateMoves one by one, keep every feasible layout,
 /// and return the feasible layout with the lowest estimated TOC.
+///
+/// Prefer dot::Solve(problem, {SolveMethod::kDotHeuristic}) over calling
+/// Optimize() directly (dot/solve.h): the facade is the documented entry
+/// point for every engine. The class itself stays public — it is the
+/// estimator (EstimateToc, targets()) the whole evaluation stack is built
+/// on, not just a search.
 class DotOptimizer {
  public:
   explicit DotOptimizer(const DotProblem& problem);

@@ -121,6 +121,29 @@ void AccumulateSteps(
 
 }  // namespace
 
+long long AppendSoloCandidate(
+    const DotProblem& problem, EpochSearch search,
+    std::vector<std::vector<int>>* pool,
+    const std::vector<std::vector<int>>* warm_starts) {
+  DOT_CHECK(pool != nullptr);
+  const DotResult solo =
+      search == EpochSearch::kDot
+          ? DotOptimizer(problem).Optimize()
+          : ExactSearch(problem, ExactStrategy::kBranchAndBound,
+                        kDefaultMaxEnumeratedLayouts, warm_starts);
+  if (solo.status.ok()) {
+    bool present = false;
+    for (const std::vector<int>& existing : *pool) {
+      if (existing == solo.placement) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) pool->push_back(solo.placement);
+  }
+  return solo.layouts_evaluated;
+}
+
 ReprovisionPlanner::ReprovisionPlanner(const Schema* schema,
                                        const BoxConfig* box,
                                        ReprovisionConfig config)
@@ -194,13 +217,9 @@ ReprovisionPlan ReprovisionPlanner::Plan(
     // and re-optimize-every-epoch baselines as sequences.
     add_candidate(current_layout);
     for (int e = 0; e < num_epochs; ++e) {
-      const DotResult solo =
-          config_.search == EpochSearch::kDot
-              ? optimizers[static_cast<size_t>(e)]->Optimize()
-              : ExactSearch(optimizers[static_cast<size_t>(e)]->problem(),
-                            ExactStrategy::kBranchAndBound);
-      plan.layouts_evaluated += solo.layouts_evaluated;
-      if (solo.status.ok()) add_candidate(solo.placement);
+      plan.layouts_evaluated += AppendSoloCandidate(
+          optimizers[static_cast<size_t>(e)]->problem(), config_.search,
+          &pool);
     }
   }
   const int k_pool = static_cast<int>(pool.size());

@@ -138,6 +138,12 @@ struct ReprovisionPlan {
 /// pool contains the search's winner, every candidate is scored through
 /// the search's own kernel, and multiplying TOC by the positive duration
 /// is monotone.
+///
+/// Prefer dot::Solve(problem, spec) with SolveMethod::kEpochPlan over
+/// instantiating this class (dot/solve.h): the facade is the documented
+/// entry point and builds the config from the problem. The class remains
+/// public for EvaluateSequence (the baseline/brute-force pricing kernel)
+/// and for drivers that reuse one planner across schedules.
 class ReprovisionPlanner {
  public:
   /// `schema` and `box` must outlive the planner.
@@ -166,6 +172,20 @@ class ReprovisionPlanner {
   const BoxConfig* box_;
   ReprovisionConfig config_;
 };
+
+/// Runs the configured candidate search on `problem` — warm-started
+/// branch-and-bound for EpochSearch::kExact, DOT's Procedure 1 for kDot —
+/// and appends the winning placement to `pool` unless already present.
+/// This is the seeding step of ReprovisionPlanner::Plan's non-exhaustive
+/// pool, exposed as a free function so the fleet planner's
+/// FleetPoolMode::kSearch reuses exactly the same searches (same engines,
+/// same warm-start semantics) instead of growing a second seeding path.
+/// Returns the number of layouts the search evaluated; an infeasible
+/// search appends nothing.
+long long AppendSoloCandidate(
+    const DotProblem& problem, EpochSearch search,
+    std::vector<std::vector<int>>* pool,
+    const std::vector<std::vector<int>>* warm_starts = nullptr);
 
 }  // namespace dot
 

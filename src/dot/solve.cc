@@ -9,40 +9,112 @@ namespace dot {
 namespace {
 
 /// Folds a single-shot DotResult into the common shape.
-SolveResult FromDot(DotResult result) {
+SolveResult FromDot(DotResult result, SolveMethod method,
+                    const char* engine) {
   SolveResult out;
   out.status = result.status;
   out.placement = result.placement;
   out.toc_cents_per_task = result.toc_cents_per_task;
-  out.layouts_evaluated = result.layouts_evaluated;
+  out.provenance.method = method;
+  out.provenance.engine = engine;
+  out.provenance.layouts_evaluated = result.layouts_evaluated;
+  out.provenance.warm_start_hits = result.warm_start_hits;
+  out.provenance.nodes_expanded = result.nodes_expanded;
+  out.provenance.nodes_pruned_bound = result.nodes_pruned_bound;
+  out.provenance.nodes_pruned_infeasible = result.nodes_pruned_infeasible;
+  out.provenance.plan_cache_hits = result.plan_cache_hits;
+  out.provenance.plan_cache_misses = result.plan_cache_misses;
+  out.provenance.solve_ms = result.optimize_ms;
   out.dot = std::move(result);
   return out;
 }
 
 }  // namespace
 
+Status SolveSpec::Validate(const DotProblem& problem) const {
+  if (ensemble != nullptr && method == SolveMethod::kEpochPlan) {
+    return Status::InvalidArgument(
+        "ensemble mode is single-shot; kEpochPlan re-derives per-epoch "
+        "point problems");
+  }
+  if (ensemble != nullptr && method == SolveMethod::kFleet) {
+    return Status::InvalidArgument(
+        "ensemble mode is single-shot; fleet tenants are point forecasts");
+  }
+  if (problem.box == nullptr) {
+    return Status::InvalidArgument("DotProblem::box is null");
+  }
+  if (method != SolveMethod::kFleet) {
+    if (problem.schema == nullptr || problem.workload == nullptr) {
+      return Status::InvalidArgument(
+          "DotProblem::schema and ::workload must be set");
+    }
+    return Status::OK();
+  }
+  // --- kFleet: the problem carries box + options; the spec carries the
+  // tenants, each a full problem of its own.
+  if (fleet == nullptr || fleet->tenants == nullptr) {
+    return Status::InvalidArgument(
+        "kFleet needs SolveSpec::fleet with a tenants vector");
+  }
+  if (fleet->tenants->empty()) {
+    return Status::InvalidArgument("fleet has no tenants");
+  }
+  for (const FleetTenant& t : *fleet->tenants) {
+    if (t.problem.schema == nullptr || t.problem.workload == nullptr) {
+      return Status::InvalidArgument(
+          "tenant " + t.name + " has no schema or workload");
+    }
+    if (t.problem.box != problem.box) {
+      return Status::InvalidArgument(
+          "tenant " + t.name +
+          " references a different box than the fleet problem");
+    }
+    if (t.problem.ensemble != nullptr) {
+      return Status::InvalidArgument(
+          "tenant " + t.name +
+          " carries a scenario ensemble; fleet mode is point-forecast");
+    }
+  }
+  const auto& capacity = fleet->config.constraints.capacity_gb;
+  if (!capacity.empty() &&
+      static_cast<int>(capacity.size()) != problem.box->NumClasses()) {
+    return Status::InvalidArgument(
+        "FleetConstraints::capacity_gb must be empty or have one entry "
+        "per storage class");
+  }
+  return Status::OK();
+}
+
 SolveResult Solve(const DotProblem& problem, const SolveSpec& spec) {
-  DOT_CHECK(problem.schema != nullptr && problem.box != nullptr &&
-            problem.workload != nullptr);
+  {
+    Status st = spec.Validate(problem);
+    if (!st.ok()) {
+      SolveResult out;
+      out.status = std::move(st);
+      out.provenance.method = spec.method;
+      return out;
+    }
+  }
   // The spec's ensemble overlays the problem's for this call — a local
   // copy keeps the caller's problem untouched and the overlay scoped.
   DotProblem p = problem;
   if (spec.ensemble != nullptr) {
-    DOT_CHECK(spec.method != SolveMethod::kEpochPlan)
-        << "ensemble mode is single-shot; kEpochPlan re-derives per-epoch "
-           "point problems";
     p.ensemble = spec.ensemble;
     p.ensemble_objective = spec.ensemble_objective;
   }
   switch (spec.method) {
     case SolveMethod::kDotHeuristic:
-      return FromDot(DotOptimizer(p).Optimize());
+      return FromDot(DotOptimizer(p).Optimize(), spec.method,
+                     "dot-heuristic");
     case SolveMethod::kExact:
       return FromDot(ExactSearch(p, ExactStrategy::kBranchAndBound,
-                                 spec.max_layouts, spec.warm_starts));
+                                 spec.max_layouts, spec.warm_starts),
+                     spec.method, "branch-and-bound");
     case SolveMethod::kEnumerate:
       return FromDot(
-          ExactSearch(p, ExactStrategy::kEnumerate, spec.max_layouts));
+          ExactSearch(p, ExactStrategy::kEnumerate, spec.max_layouts),
+          spec.method, "enumerate");
     case SolveMethod::kEpochPlan: {
       ReprovisionConfig config;
       config.relative_sla = problem.relative_sla;
@@ -70,11 +142,33 @@ SolveResult Solve(const DotProblem& problem, const SolveSpec& spec) {
       out.has_plan = true;
       out.plan = planner.Plan(*schedule, spec.current_layout);
       out.status = out.plan.status;
-      out.layouts_evaluated = out.plan.layouts_evaluated;
+      out.provenance.method = spec.method;
+      out.provenance.engine = "epoch-dp";
+      out.provenance.layouts_evaluated = out.plan.layouts_evaluated;
+      out.provenance.pool_size = out.plan.pool_size;
+      out.provenance.solve_ms = out.plan.plan_ms;
       if (out.status.ok() && !out.plan.steps.empty()) {
         out.placement = out.plan.steps.front().placement;
         out.toc_cents_per_task = out.plan.steps.front().toc_cents_per_task;
       }
+      return out;
+    }
+    case SolveMethod::kFleet: {
+      FleetConfig config = spec.fleet->config;
+      config.options = problem.options;
+      FleetPlanner planner(problem.box, config);
+
+      SolveResult out;
+      out.has_fleet = true;
+      out.fleet = planner.Plan(*spec.fleet->tenants);
+      out.status = out.fleet.status;
+      out.toc_cents_per_task = out.fleet.total_toc_cents_per_task;
+      out.provenance.method = spec.method;
+      out.provenance.engine = "fleet-lagrangian";
+      out.provenance.layouts_evaluated = out.fleet.layouts_evaluated;
+      out.provenance.pool_builds = out.fleet.pool_builds;
+      out.provenance.pool_cache_hits = out.fleet.pool_cache_hits;
+      out.provenance.solve_ms = out.fleet.plan_ms;
       return out;
     }
   }

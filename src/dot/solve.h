@@ -8,6 +8,7 @@
 #include "dot/optimizer.h"
 #include "dot/problem.h"
 #include "dot/reprovision.h"
+#include "fleet/fleet_planner.h"
 #include "storage/migration.h"
 #include "workload/epoch_schedule.h"
 
@@ -30,11 +31,25 @@ enum class SolveMethod {
   /// (or a synthetic one-epoch schedule of problem.workload when none is
   /// given), charging SolveSpec::migration between consecutive layouts.
   kEpochPlan,
+  /// FleetPlanner: N per-tenant problems under one budget/capacity
+  /// (SolveSpec::fleet). The DotProblem supplies the shared box and the
+  /// engine knobs; its schema/workload may be null on this path.
+  kFleet,
+};
+
+/// The kFleet inputs: the tenants and the fleet knobs. The tenants vector
+/// must outlive the Solve() call; every tenant's problem must reference
+/// the same box as the DotProblem passed to Solve. FleetConfig::options is
+/// overwritten from problem.options inside Solve — the problem is the one
+/// source of engine knobs on every method.
+struct FleetSpec {
+  const std::vector<FleetTenant>* tenants = nullptr;
+  FleetConfig config;
 };
 
 /// Per-call inputs of Solve() that are not part of the problem instance:
-/// which engine, and — for the stateful path — the schedule, the incumbent
-/// layout, and the migration pricing.
+/// which engine, and — for the stateful and fleet paths — the schedule,
+/// the incumbent layout, the migration pricing, or the tenant roster.
 struct SolveSpec {
   SolveMethod method = SolveMethod::kExact;
 
@@ -50,9 +65,10 @@ struct SolveSpec {
 
   /// When set, overlays DotProblem::ensemble for this call: candidates are
   /// scored under `ensemble_objective` across these scenarios instead of
-  /// the point forecast (DESIGN.md §10). Must outlive the call. Incompatible
-  /// with kEpochPlan (the epoch DP re-derives per-epoch point problems);
-  /// Solve() aborts on that combination rather than silently ignoring it.
+  /// the point forecast (DESIGN.md §10). Must outlive the call.
+  /// Incompatible with kEpochPlan (the epoch DP re-derives per-epoch point
+  /// problems) and kFleet (tenants are point forecasts); Validate() turns
+  /// those combinations into an InvalidArgument status.
   const ScenarioEnsemble* ensemble = nullptr;
 
   /// Objective over `ensemble`; ignored when `ensemble` is null.
@@ -76,30 +92,90 @@ struct SolveSpec {
 
   /// Candidate search seeding the planner's per-epoch pools.
   EpochSearch epoch_search = EpochSearch::kExact;
+
+  // --- kFleet only ---
+
+  /// The fleet to provision (see FleetSpec). Must outlive the call.
+  const FleetSpec* fleet = nullptr;
+
+  /// Checks this spec against `problem` and returns the exact status
+  /// Solve() would fail with: null problem inputs, an ensemble overlay on
+  /// a method that cannot honor it, or a malformed fleet spec. Solve()
+  /// calls this first and returns the error in SolveResult::status — it no
+  /// longer aborts on spec/problem mismatches — so drivers that assemble
+  /// specs from config can pre-flight them.
+  Status Validate(const DotProblem& problem) const;
+};
+
+/// Where a SolveResult came from and what the engine did to produce it —
+/// one block with the same shape for every method, so readers (the advisor
+/// loop, the benches) report counters without switching on the engine.
+/// Fields a given engine has no notion of stay zero; see DESIGN.md §11 for
+/// which engines fill what.
+struct SolveProvenance {
+  /// The method that ran, and a stable human-readable engine label
+  /// ("dot-heuristic", "branch-and-bound", "enumerate", "epoch-dp",
+  /// "fleet-lagrangian").
+  SolveMethod method = SolveMethod::kExact;
+  const char* engine = "";
+
+  /// Candidate layouts evaluated by whichever engine ran.
+  long long layouts_evaluated = 0;
+
+  /// kExact: caller-supplied warm starts that actually seeded the
+  /// incumbent (diagnostics; cannot affect the result — bnb_search.h).
+  int warm_start_hits = 0;
+
+  /// Branch-and-bound node counters (kExact; zero elsewhere).
+  long long nodes_expanded = 0;
+  long long nodes_pruned_bound = 0;
+  long long nodes_pruned_infeasible = 0;
+
+  /// DSS plan-cache traffic of the run's fast path (single-shot methods;
+  /// thread-count dependent, diagnostics only — dot/optimizer.h).
+  long long plan_cache_hits = 0;
+  long long plan_cache_misses = 0;
+
+  /// kEpochPlan: the DP's candidate-pool size.
+  int pool_size = 0;
+
+  /// kFleet: distinct candidate pools built (== distinct cache keys) and
+  /// tenants served from an already-built pool; pool_builds +
+  /// pool_cache_hits == fleet size (fleet/fleet_planner.h).
+  int pool_builds = 0;
+  int pool_cache_hits = 0;
+
+  /// Wall-clock of the engine run.
+  double solve_ms = 0.0;
 };
 
 /// The one result type every Solve() method fills. The convenience fields
-/// (placement, toc, layouts_evaluated) are always populated on success;
-/// the engine-specific payloads carry everything else:
+/// (placement, toc) are populated on success, engine counters live in
+/// `provenance`, and the engine-specific payloads carry everything else:
 ///
 ///   * single-shot methods fill `dot` — bit-identical to calling
 ///     DotOptimizer::Optimize / ExactSearch directly (same placement, TOC,
 ///     estimate, counters, infeasibility verdicts);
 ///   * kEpochPlan sets has_plan and fills `plan` — bit-identical to
 ///     ReprovisionPlanner::Plan — and the convenience fields mirror the
-///     plan's first epoch (the layout to deploy now).
+///     plan's first epoch (the layout to deploy now);
+///   * kFleet sets has_fleet and fills `fleet` — bit-identical to
+///     FleetPlanner::Plan. `placement` stays empty (a fleet has one
+///     placement per tenant, in fleet.tenants) and toc_cents_per_task is
+///     the fleet total.
 struct SolveResult {
   Status status = Status::OK();
 
   /// The recommended placement: the search winner, or the plan's first
-  /// epoch. Meaningful only when status is OK.
+  /// epoch. Meaningful only when status is OK; empty for kFleet.
   std::vector<int> placement;
 
-  /// TOC of `placement` under its (first) epoch, cents/task.
+  /// TOC of `placement` under its (first) epoch — or the fleet-wide total
+  /// for kFleet — cents/task.
   double toc_cents_per_task = 0.0;
 
-  /// Candidate layouts evaluated by whichever engine ran.
-  long long layouts_evaluated = 0;
+  /// Engine attribution and counters, one shape for every method.
+  SolveProvenance provenance;
 
   /// Single-shot payload (kDotHeuristic, kExact, kEnumerate).
   DotResult dot;
@@ -107,12 +183,21 @@ struct SolveResult {
   /// Stateful payload (kEpochPlan).
   bool has_plan = false;
   ReprovisionPlan plan;
+
+  /// Fleet payload (kFleet).
+  bool has_fleet = false;
+  FleetPlan fleet;
 };
 
 /// The unified optimization entry point: one facade over the heuristic
-/// optimizer, the exact searches, and the stateful epoch planner, so
-/// callers (examples, the advisor loop) pick an engine with a spec instead
-/// of wiring a different API per method.
+/// optimizer, the exact searches, the stateful epoch planner, and the
+/// fleet planner, so callers (examples, the advisor loop, the benches)
+/// pick an engine with a spec instead of wiring a different API per
+/// method. This is the documented way to run any engine; the engine
+/// classes stay public as internals.
+///
+/// Solve() never aborts on spec/problem mismatches: SolveSpec::Validate
+/// runs first and its error comes back in SolveResult::status.
 ///
 /// kEpochPlan notes: the planner derives each epoch's targets from its own
 /// best case (exactly as a single-shot run would), so

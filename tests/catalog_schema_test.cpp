@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "catalog/tpcc_schema.h"
 #include "catalog/tpch_schema.h"
 
@@ -116,6 +118,57 @@ TEST(SchemaTest, SubsetPreservesSizesAndRemapsIds) {
                    full.object(full.FindObject("lineitem")).size_gb);
   const int li_pk = sub.FindObject("lineitem_pkey");
   EXPECT_EQ(sub.object(li_pk).table_id, li);
+}
+
+// --- Fingerprint: the key the fleet planner shares candidate pools under.
+// Equal construction must hash equal; any content or order change must not.
+
+Schema TwoTableSchema(const char* first, const char* second) {
+  Schema s;
+  const int a = s.AddTable(first, 1e6, 120);
+  s.AddIndex(std::string(first) + "_pk", a, 8);
+  const int b = s.AddTable(second, 5e5, 80);
+  s.AddIndex(std::string(second) + "_pk", b, 8);
+  return s;
+}
+
+TEST(SchemaFingerprintTest, IdenticalConstructionHashesEqual) {
+  const Schema a = TwoTableSchema("orders", "items");
+  const Schema b = TwoTableSchema("orders", "items");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(MakeTpccSchema(10).Fingerprint(),
+            MakeTpccSchema(10).Fingerprint());
+}
+
+TEST(SchemaFingerprintTest, ObjectOrderMatters) {
+  // A column-order variant — same objects, ids swapped — must NOT share a
+  // fingerprint: placements are id-indexed, so the schemas are not
+  // interchangeable.
+  const Schema ab = TwoTableSchema("orders", "items");
+  Schema ba;
+  const int b = ba.AddTable("items", 5e5, 80);
+  ba.AddIndex("items_pk", b, 8);
+  const int a = ba.AddTable("orders", 1e6, 120);
+  ba.AddIndex("orders_pk", a, 8);
+  EXPECT_NE(ab.Fingerprint(), ba.Fingerprint());
+}
+
+TEST(SchemaFingerprintTest, ContentChangesChangeTheHash) {
+  const Schema base = TwoTableSchema("orders", "items");
+  const Schema renamed = TwoTableSchema("orders2", "items");
+  EXPECT_NE(base.Fingerprint(), renamed.Fingerprint());
+
+  Schema resized;
+  const int t = resized.AddTable("orders", 1e6 + 1, 120);
+  resized.AddIndex("orders_pk", t, 8);
+  const int u = resized.AddTable("items", 5e5, 80);
+  resized.AddIndex("items_pk", u, 8);
+  EXPECT_NE(base.Fingerprint(), resized.Fingerprint());
+
+  EXPECT_NE(MakeTpccSchema(10).Fingerprint(),
+            MakeTpccSchema(20).Fingerprint());
+  Schema empty;
+  EXPECT_NE(base.Fingerprint(), empty.Fingerprint());
 }
 
 TEST(SchemaDeathTest, DuplicateNameAborts) {

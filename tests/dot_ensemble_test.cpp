@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -334,14 +335,21 @@ TEST_F(EnsembleOptTest, SolveSpecOverlayMatchesProblemLevelEnsemble) {
   ASSERT_TRUE(facade.status.ok());
   EXPECT_EQ(facade.placement, direct.placement);
   EXPECT_EQ(facade.toc_cents_per_task, direct.toc_cents_per_task);
-  EXPECT_EQ(facade.layouts_evaluated, direct.layouts_evaluated);
+  EXPECT_EQ(facade.provenance.layouts_evaluated, direct.layouts_evaluated);
 
   // The caller's problem was not mutated by the overlay.
   EXPECT_EQ(problem_.ensemble, nullptr);
 
+  // An ensemble overlay on the epoch planner is a spec error: Validate
+  // refuses it, and Solve returns that status instead of running.
   SolveSpec epoch = spec;
   epoch.method = SolveMethod::kEpochPlan;
-  EXPECT_DEATH((void)Solve(problem_, epoch), "single-shot");
+  const Status verdict = epoch.Validate(problem_);
+  EXPECT_EQ(verdict.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(verdict.message().find("single-shot"), std::string::npos);
+  const SolveResult refused = Solve(problem_, epoch);
+  EXPECT_EQ(refused.status, verdict);
+  EXPECT_FALSE(refused.has_plan);
 }
 
 }  // namespace

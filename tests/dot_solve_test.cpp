@@ -82,8 +82,11 @@ TEST_F(SolveFacadeTest, ExactMatchesDirectExactSearchBitwise) {
   ExpectSameDotResult(direct, facade.dot);
   EXPECT_EQ(facade.placement, direct.placement);
   EXPECT_EQ(facade.toc_cents_per_task, direct.toc_cents_per_task);
-  EXPECT_EQ(facade.layouts_evaluated, direct.layouts_evaluated);
+  EXPECT_EQ(facade.provenance.layouts_evaluated, direct.layouts_evaluated);
+  EXPECT_EQ(facade.provenance.method, SolveMethod::kExact);
+  EXPECT_EQ(facade.provenance.nodes_expanded, direct.nodes_expanded);
   EXPECT_FALSE(facade.has_plan);
+  EXPECT_FALSE(facade.has_fleet);
 }
 
 TEST_F(SolveFacadeTest, EnumerateMatchesExhaustiveSearchBitwise) {
@@ -150,6 +153,23 @@ TEST_F(SolveFacadeTest, EpochPlanOneEpochZeroMigrationMatchesExact) {
   EXPECT_EQ(planned.toc_cents_per_task, single.toc_cents_per_task);
   EXPECT_EQ(planned.plan.steps.size(), 1u);
   EXPECT_EQ(planned.plan.total_migration_cents, 0.0);
+}
+
+TEST_F(SolveFacadeTest, ValidateCatchesSpecProblemMismatches) {
+  // A malformed problem comes back as a status, not an abort.
+  DotProblem no_workload = problem_;
+  no_workload.workload = nullptr;
+  SolveSpec spec;
+  EXPECT_EQ(spec.Validate(no_workload).code(),
+            StatusCode::kInvalidArgument);
+  const SolveResult r = Solve(no_workload, spec);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+
+  // kFleet without a fleet spec is refused the same way.
+  SolveSpec fleet;
+  fleet.method = SolveMethod::kFleet;
+  EXPECT_EQ(fleet.Validate(problem_).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(SolveFacadeTest, InfeasibleVerdictPassesThroughUnchanged) {
