@@ -8,14 +8,26 @@
 // layouts_per_s throughput counters) to BENCH_optimizer.json — the
 // machine-readable perf-trajectory format CI archives per commit. All
 // other flags are standard google-benchmark flags.
+//
+// Every entry is tagged with a `kernel_level` counter (0 = scalar,
+// 1 = avx2), and `--json` refuses to replace a trajectory file recorded at
+// a different dispatch level: scalar and AVX2 points must never mix
+// silently in one trajectory (run with DOT_KERNEL=<level> to match, or
+// point --json=<path> at a fresh file).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "dot/dot.h"
 
 namespace dot {
@@ -104,6 +116,10 @@ struct SearchCounters {
     state.counters["layouts_pruned"] = benchmark::Counter(
         static_cast<double>(layouts_pruned),
         benchmark::Counter::kAvgIterations);
+    // Which summation kernels scored this entry (0 = scalar, 1 = avx2):
+    // trajectory tooling must never compare points across levels.
+    state.counters["kernel_level"] =
+        benchmark::Counter(static_cast<double>(ActiveKernelLevel()));
   }
 };
 
@@ -303,6 +319,88 @@ void BM_PlanTpchWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanTpchWorkload);
 
+// Raw fast-scorer throughput, search machinery excluded: one evaluator per
+// family (OLTP = full TPC-C, DSS = the §4.4.3 TPC-H subset, HTAP = the
+// CH-benCH shared-object composition) scoring a fixed bag of pregenerated
+// random layouts through EvaluateQuick. This is the microbench of the SoA
+// planes + dispatch kernels themselves — layouts_per_s here moves with the
+// kernel level (compare DOT_KERNEL=scalar vs avx2 runs), while the search
+// benchmarks above fold in pruning and node overheads.
+void BM_FastScorerKernel(benchmark::State& state) {
+  Schema schema;
+  BoxConfig box;
+  std::unique_ptr<OltpWorkloadModel> oltp;
+  std::unique_ptr<DssWorkloadModel> dss;
+  HtapBundle bundle;
+  DotProblem problem;
+  std::string label;
+  switch (state.range(0)) {
+    case 0: {
+      schema = MakeTpccSchema(300);
+      box = MakeBox2();
+      oltp = MakeTpccWorkload(&schema, &box, TpccConfig{});
+      problem.workload = oltp.get();
+      problem.relative_sla = 0.25;
+      label = "oltp tpcc full";
+      break;
+    }
+    case 1: {
+      schema = MakeTpchEsSubsetSchema(20.0);
+      box = MakeBox1();
+      dss = std::make_unique<DssWorkloadModel>(
+          "TPC-H-ES", &schema, &box, MakeTpchSubsetTemplates(),
+          RepeatSequence(11, 3), PlannerConfig{});
+      problem.workload = dss.get();
+      problem.relative_sla = 0.5;
+      label = "dss tpch es-subset";
+      break;
+    }
+    default: {
+      Schema full = MakeTpccSchema(300);
+      schema = full.Subset({"stock", "pk_stock", "order_line",
+                            "pk_order_line", "customer", "pk_customer",
+                            "orders", "pk_orders"});
+      box = MakeBox2();
+      bundle = MakeChbenchHtapWorkload(&schema, &box, HtapConfig{});
+      problem.workload = bundle.htap.get();
+      problem.relative_sla = 0.35;
+      label = "htap chbench subset";
+      break;
+    }
+  }
+  problem.schema = &schema;
+  problem.box = &box;
+
+  DotOptimizer estimator(problem);
+  ThreadPool pool(1);
+  CandidateEvaluator evaluator(estimator, &pool);
+  const int n = schema.NumObjects();
+  const int m = box.NumClasses();
+  Rng rng(0x5c07e);
+  std::vector<Layout> layouts;
+  std::vector<int> placement(static_cast<size_t>(n), 0);
+  for (int i = 0; i < 64; ++i) {
+    for (int o = 0; o < n; ++o) {
+      placement[static_cast<size_t>(o)] =
+          static_cast<int>(rng.NextBounded(static_cast<uint64_t>(m)));
+    }
+    layouts.emplace_back(&schema, &box, placement);
+  }
+  long long scored = 0;
+  for (auto _ : state) {
+    for (const Layout& layout : layouts) {
+      benchmark::DoNotOptimize(evaluator.EvaluateQuick(layout).toc);
+    }
+    scored += static_cast<long long>(layouts.size());
+  }
+  state.counters["layouts_per_s"] = benchmark::Counter(
+      static_cast<double>(scored), benchmark::Counter::kIsRate);
+  state.counters["kernel_level"] =
+      benchmark::Counter(static_cast<double>(ActiveKernelLevel()));
+  state.SetLabel(label + " / " + KernelLevelName(ActiveKernelLevel()));
+}
+BENCHMARK(BM_FastScorerKernel)->DenseRange(0, 2);
+
 void BM_TpccEstimate(benchmark::State& state) {
   Schema schema = MakeTpccSchema(300);
   BoxConfig box = MakeBox2();
@@ -315,6 +413,25 @@ void BM_TpccEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_TpccEstimate);
 
+/// True when the existing trajectory file at `path` holds entries recorded
+/// at a kernel level other than `active` (its `kernel_level` counters).
+/// Entries from before the counter existed carry no tag and don't block.
+bool TrajectoryHasForeignKernelLevel(const std::string& path, int active) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;  // nothing to replace
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string key = "\"kernel_level\":";
+  for (std::size_t pos = text.find(key); pos != std::string::npos;
+       pos = text.find(key, pos + key.size())) {
+    const int recorded =
+        std::atoi(text.c_str() + pos + key.size());  // skips spaces
+    if (recorded != active) return true;
+  }
+  return false;
+}
+
 }  // namespace
 }  // namespace dot
 
@@ -322,8 +439,15 @@ BENCHMARK(BM_TpccEstimate);
 // google-benchmark pair --benchmark_out=BENCH_optimizer.json
 // --benchmark_out_format=json (an explicit --json=<path> overrides the
 // file name), so CI and developers produce the perf-trajectory artifact
-// with one stable spelling.
+// with one stable spelling. Prints the resolved kernel dispatch level, and
+// refuses to replace a trajectory recorded at a different level — mixing
+// scalar and AVX2 points in one trajectory would chart a phantom
+// regression.
 int main(int argc, char** argv) {
+  const dot::KernelLevel level = dot::ActiveKernelLevel();
+  std::fprintf(stderr, "dot: kernel dispatch level: %s\n",
+               dot::KernelLevelName(level));
+
   // Owned storage first, pointers second: taking .data() while still
   // appending would dangle on reallocation.
   std::vector<std::string> expanded;
@@ -332,6 +456,17 @@ int main(int argc, char** argv) {
         std::strncmp(argv[i], "--json=", 7) == 0) {
       const char* path =
           argv[i][6] == '=' ? argv[i] + 7 : "BENCH_optimizer.json";
+      if (dot::TrajectoryHasForeignKernelLevel(path,
+                                               static_cast<int>(level))) {
+        std::fprintf(
+            stderr,
+            "dot: refusing --json: %s holds entries from a different "
+            "kernel level than the active '%s' — rerun with DOT_KERNEL "
+            "matching the file, or write to a fresh path with "
+            "--json=<path>\n",
+            path, dot::KernelLevelName(level));
+        return 1;
+      }
       expanded.push_back(std::string("--benchmark_out=") + path);
       expanded.push_back("--benchmark_out_format=json");
     } else {

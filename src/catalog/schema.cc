@@ -62,6 +62,8 @@ int Schema::AddTable(const std::string& name, double rows, double row_bytes) {
   o.row_bytes = row_bytes;
   o.table_id = o.id;
   o.size_gb = rows * row_bytes / (kFillFactor * kBytesPerGb);
+  sizes_gb_.push_back(o.size_gb);
+  by_name_.emplace(o.name, o.id);
   objects_.push_back(std::move(o));
   return objects_.back().id;
 }
@@ -99,6 +101,8 @@ int Schema::AddIndex(const std::string& name, int table_id, double key_bytes,
   // Inner pages add roughly leaf_pages / fanout; include them in the size.
   const double total_pages = leaf_pages * (1.0 + 1.0 / fanout) + height;
   o.size_gb = total_pages * static_cast<double>(kPageBytes) / kBytesPerGb;
+  sizes_gb_.push_back(o.size_gb);
+  by_name_.emplace(o.name, o.id);
   objects_.push_back(std::move(o));
   return objects_.back().id;
 }
@@ -113,6 +117,8 @@ int Schema::AddAuxiliary(const std::string& name, ObjectKind kind,
   o.name = name;
   o.kind = kind;
   o.size_gb = size_gb;
+  sizes_gb_.push_back(o.size_gb);
+  by_name_.emplace(o.name, o.id);
   objects_.push_back(std::move(o));
   return objects_.back().id;
 }
@@ -124,10 +130,8 @@ const DbObject& Schema::object(int id) const {
 }
 
 int Schema::FindObject(const std::string& name) const {
-  for (const DbObject& o : objects_) {
-    if (o.name == name) return o.id;
-  }
-  return -1;
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : -1;
 }
 
 std::vector<int> Schema::IndexesOf(int table_id) const {
@@ -215,6 +219,8 @@ Schema Schema::Subset(const std::vector<std::string>& names) const {
         DbObject copy = o;
         copy.id = out.NumObjects();
         copy.table_id = new_table;
+        out.sizes_gb_.push_back(copy.size_gb);
+        out.by_name_.emplace(copy.name, copy.id);
         out.objects_.push_back(std::move(copy));
         break;
       }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/db_object.h"
@@ -32,6 +33,11 @@ class Schema {
   int NumObjects() const { return static_cast<int>(objects_.size()); }
   const DbObject& object(int id) const;
   const std::vector<DbObject>& objects() const { return objects_; }
+
+  /// Flat s_i array in object-id order (sizes_gb()[o] == object(o).size_gb).
+  /// The capacity/cost hot loops scan sizes for every object; keeping them
+  /// contiguous avoids striding through whole DbObject records.
+  const std::vector<double>& sizes_gb() const { return sizes_gb_; }
 
   /// Object id by name, or -1 if absent.
   int FindObject(const std::string& name) const;
@@ -67,6 +73,8 @@ class Schema {
 
  private:
   std::vector<DbObject> objects_;
+  std::vector<double> sizes_gb_;  ///< mirror of objects_[i].size_gb
+  std::unordered_map<std::string, int> by_name_;  ///< name -> object id
 };
 
 }  // namespace dot

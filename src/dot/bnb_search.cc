@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "dot/candidate_evaluator.h"
@@ -144,6 +146,8 @@ struct BnbShared {
   std::vector<double> suffix_min_cost;  ///< [d] Σ_{i>=d} min marginal cost
   std::vector<double> suffix_size;      ///< [d] Σ_{i>=d} size_gb
   std::vector<double> capacity;         ///< per class, c_j
+  std::vector<double> class_price;      ///< per class, p_j (hoisted)
+  bool linear_cost = false;             ///< cost model has no discrete part
   std::vector<long long> leaves_below;  ///< [d] = M^(N-d), saturating
   double seed_incumbent = std::numeric_limits<double>::infinity();
   int shard_depth = 0;  ///< tasks are the surviving depth-k prefixes
@@ -161,13 +165,17 @@ class SubtreeWalker {
   /// With `task_sink` non-null the walker stops at shard_depth and emits
   /// the surviving prefixes instead of descending (the top-k sharding
   /// pass); with it null the walker searches the subtree exhaustively.
-  SubtreeWalker(const BnbShared& sh, std::vector<std::vector<int>>* task_sink)
+  /// `arena` backs the per-depth snapshot and probe arrays; the walker is
+  /// built once per shard and reused across its tasks (BeginTask resets
+  /// the arena and every piece of per-task state), so the steady state
+  /// allocates nothing per task — not even the bound cursor, whose Reset
+  /// contract restores its full initial state.
+  SubtreeWalker(const BnbShared& sh, std::vector<std::vector<int>>* task_sink,
+                Arena* arena)
       : sh_(sh),
         task_sink_(task_sink),
+        arena_(arena),
         placement_(static_cast<size_t>(sh.n), 0),
-        used_(static_cast<size_t>(sh.n + 1) * static_cast<size_t>(sh.m),
-              0.0),
-        probes_(static_cast<size_t>(sh.n + 1) * static_cast<size_t>(sh.m)),
         incumbent_(sh.seed_incumbent) {
     if (sh_.scorer != nullptr) cursor_ = sh_.scorer->MakeBoundCursor();
   }
@@ -175,7 +183,7 @@ class SubtreeWalker {
   /// Replays a shard prefix (classes of order[0..shard_depth)) — already
   /// vetted by the sharding pass — and searches the subtree below it.
   void RunSubtree(const std::vector<int>& prefix) {
-    Reset();
+    BeginTask();
     for (int d = 0; d < sh_.shard_depth; ++d) {
       AssignLevel(d, prefix[static_cast<size_t>(d)]);
     }
@@ -184,7 +192,7 @@ class SubtreeWalker {
 
   /// The sharding pass: walk (and prune) levels [0, shard_depth).
   void RunPrefix() {
-    Reset();
+    BeginTask();
     Dfs(0);
   }
 
@@ -192,18 +200,42 @@ class SubtreeWalker {
   const SubtreeBest& best() const { return best_; }
 
  private:
+  /// Admissible TOC lower bound of one child, kept as the unreduced ratio
+  /// toc_num / toc_den so the hot loop never divides: pruning and
+  /// ordering compare ratios by cross-multiplication (both sides are
+  /// positive when a bound exists). The "no bound" case — no cursor, or
+  /// an unbounded optimistic throughput — is the ratio 0 / 1, which sorts
+  /// before every real bound and never prunes, exactly like the literal
+  /// toc_lb = 0 it replaces.
   struct Probe {
-    double toc_lb = 0.0;
+    double toc_num = 0.0;
+    double toc_den = 1.0;
     int cls = 0;
   };
 
   double* UsedRow(int depth) {
-    return used_.data() + static_cast<size_t>(depth) *
-                              static_cast<size_t>(sh_.m);
+    return used_ + static_cast<size_t>(depth) * static_cast<size_t>(sh_.m);
   }
 
-  void Reset() {
-    std::fill(used_.begin(), used_.end(), 0.0);
+  /// Per-task reset: reclaim the arena, re-carve the per-depth arrays from
+  /// it, and restore every piece of state a fresh walker would start with
+  /// — the per-task results must be identical whether a walker is fresh or
+  /// reused, or the shard mapping would leak into the search outcome.
+  void BeginTask() {
+    arena_->Reset();
+    const size_t cells =
+        static_cast<size_t>(sh_.n + 1) * static_cast<size_t>(sh_.m);
+    used_ = arena_->AllocateArray<double>(cells);
+    std::fill(used_, used_ + cells, 0.0);
+    probes_ = arena_->AllocateArray<Probe>(cells);
+    mask_ = arena_->AllocateArray<unsigned char>(static_cast<size_t>(sh_.m));
+    qps_ = arena_->AllocateArray<QuickPerf>(static_cast<size_t>(sh_.m));
+    pfree_ = arena_->AllocateArray<double>(static_cast<size_t>(sh_.m));
+    tpden_ = arena_->AllocateArray<double>(static_cast<size_t>(sh_.m));
+    std::fill(placement_.begin(), placement_.end(), 0);
+    incumbent_ = sh_.seed_incumbent;
+    stats_ = BnbStats{};
+    best_ = SubtreeBest{};
     if (cursor_ != nullptr) cursor_->Reset();
   }
 
@@ -233,6 +265,29 @@ class SubtreeWalker {
         sh_.leaves_below[static_cast<size_t>(child_depth)]);
   }
 
+  /// Completion-cost lower bound of the child that adds the depth-d
+  /// object (of `size` GB) to class `cls` on top of parent row `cur`.
+  /// The linear model prices the child as the parent's priced total (a
+  /// per-node hoist, passed in) plus this one object — the same value as
+  /// re-pricing the child row up to ULP re-association, which the ε
+  /// margin on every compare this feeds absorbs. The discrete model is
+  /// not linear in used space, so it materializes the child row and takes
+  /// the generic path.
+  double ChildCostLowerBound(double parent_cost, const double* cur, int cls,
+                             double size, int child_depth) {
+    const double remaining =
+        sh_.suffix_min_cost[static_cast<size_t>(child_depth)];
+    if (sh_.linear_cost) {
+      return parent_cost + sh_.class_price[static_cast<size_t>(cls)] * size +
+             remaining;
+    }
+    double* next = UsedRow(child_depth);  // scratch until AssignLevel
+    for (int j = 0; j < sh_.m; ++j) next[j] = cur[j];
+    next[cls] += size;
+    return CompletionCostLowerBoundCentsPerHour(
+        *sh_.problem->box, next, sh_.m, remaining, sh_.problem->cost_model);
+  }
+
   void ConsiderLeaf(double toc) {
     if (!best_.found ||
         BetterCandidate(toc, placement_, best_.toc, best_.placement)) {
@@ -253,29 +308,23 @@ class SubtreeWalker {
 
     const int obj = sh_.order[static_cast<size_t>(depth)];
     const double size = sh_.size_at_depth[static_cast<size_t>(depth)];
-    const bool child_is_leaf = depth + 1 == sh_.n;
     const double* cur = UsedRow(depth);
-    double* next = UsedRow(depth + 1);  // scratch during probing
-    Probe* probes = probes_.data() + static_cast<size_t>(depth + 1) *
-                                         static_cast<size_t>(sh_.m);
-    int live = 0;
+    Probe* probes = probes_ + static_cast<size_t>(depth + 1) *
+                                  static_cast<size_t>(sh_.m);
 
-    for (int cls = 0; cls < sh_.m; ++cls) {
-      // Space snapshot of the child.
-      for (int j = 0; j < sh_.m; ++j) next[j] = cur[j];
-      next[cls] += size;
+    if (depth + 1 == sh_.n) {
+      for (int cls = 0; cls < sh_.m; ++cls) {
+        // Assigned objects never move again, so a class already at or
+        // over its (strict) capacity dooms every completion. Deflated:
+        // the snapshot is an assignment-order sum while the exact fit
+        // rule sums in object order, and a few ULPs must not prune a
+        // fitting leaf.
+        if ((cur[cls] + size) * (1 - kBoundSafety) >=
+            sh_.capacity[static_cast<size_t>(cls)]) {
+          PruneInfeasible(depth + 1);
+          continue;
+        }
 
-      // Assigned objects never move again, so a class already at or over
-      // its (strict) capacity dooms every completion. Deflated: the
-      // snapshot is an assignment-order sum while the exact fit rule sums
-      // in object order, and a few ULPs must not prune a fitting leaf.
-      if (next[cls] * (1 - kBoundSafety) >= sh_.capacity[static_cast<size_t>(
-                                                cls)]) {
-        PruneInfeasible(depth + 1);
-        continue;
-      }
-
-      if (child_is_leaf) {
         // Leaf: exact evaluation through the same kernels the enumerating
         // search uses — bit-identical toc, fit, and feasibility.
         placement_[static_cast<size_t>(obj)] = cls;
@@ -292,34 +341,85 @@ class SubtreeWalker {
         }
         stats_.leaves += 1;
         if (eval.feasible) ConsiderLeaf(eval.toc);
-        continue;
       }
+      return;
+    }
 
-      // The unassigned volume must fit in the remaining free space.
-      double free_gb = 0.0;
-      for (int j = 0; j < sh_.m; ++j) {
-        free_gb += std::max(0.0, sh_.capacity[static_cast<size_t>(j)] -
-                                     next[j]);
-      }
-      const double remaining =
-          sh_.suffix_size[static_cast<size_t>(depth + 1)];
-      if (remaining * (1 - kBoundSafety) >= free_gb * (1 + kBoundSafety)) {
+    // Interior children, three passes over the classes. Per-class prune
+    // decisions match interleaving the passes class by class; only the
+    // order the prune counters tick in changes, and counters are totals.
+    // Each child differs from this node in one class, so per-node totals
+    // over the parent row turn every per-child check into an O(1) delta:
+    // free space as parent free minus this class's shrinkage, priced
+    // space as parent cost plus this object's price. The deltas
+    // re-associate sums the one-row-per-child spelling computed left to
+    // right, which moves compared values by ULPs — every compare they
+    // feed carries the kBoundSafety margin (~1e-9, nine orders above ULP
+    // noise), so no fitting or tying completion can be cut.
+    const double remaining_size =
+        sh_.suffix_size[static_cast<size_t>(depth + 1)];
+    double parent_free = 0.0;
+    for (int j = 0; j < sh_.m; ++j) {
+      pfree_[j] = std::max(0.0, sh_.capacity[static_cast<size_t>(j)] -
+                                    cur[j]);
+      parent_free += pfree_[j];
+    }
+
+    // Pass 1: space feasibility.
+    int live = 0;
+    for (int cls = 0; cls < sh_.m; ++cls) {
+      mask_[cls] = 0;
+      const double used_cls = cur[cls] + size;
+      if (used_cls * (1 - kBoundSafety) >= sh_.capacity[static_cast<size_t>(
+                                               cls)]) {
         PruneInfeasible(depth + 1);
         continue;
       }
+      // The unassigned volume must fit in the remaining free space.
+      const double free_gb =
+          parent_free - pfree_[cls] +
+          std::max(0.0, sh_.capacity[static_cast<size_t>(cls)] - used_cls);
+      if (remaining_size * (1 - kBoundSafety) >= free_gb * (1 + kBoundSafety)) {
+        PruneInfeasible(depth + 1);
+        continue;
+      }
+      mask_[cls] = 1;
+      ++live;
+    }
 
-      // Optimistic workload completion: an upper bound on every
-      // completion's throughput, and a definite verdict when even the
-      // optimistic completion misses a target. Without a bound cursor
-      // there is no throughput bound, TOC = cost/throughput cannot be
-      // bounded either (cost alone bounds nothing), and the search
-      // degrades to capacity pruning — skip the cost kernel entirely.
-      double toc_lb = 0.0;
+    // Pass 2: one batched optimistic-completion probe over the surviving
+    // classes — an upper bound on every completion's throughput, and a
+    // definite verdict when even the optimistic completion misses a
+    // target. Without a bound cursor there is no throughput bound, TOC =
+    // cost/throughput cannot be bounded either (cost alone bounds
+    // nothing), and the search degrades to capacity pruning — skip the
+    // cost kernel entirely.
+    if (cursor_ != nullptr && live > 0) {
+      cursor_->ProbeClassesRatio(obj, placement_, sh_.m, mask_, qps_, tpden_);
+    }
+
+    // Pass 3: SLA and bound pruning; survivors become child probes.
+    // Division-free: the TOC bound cost_lb / tp is compared against the
+    // incumbent as cost_lb vs incumbent·(1+ε)·tp. The ε safety margin is
+    // ~1e-9 relative while cross-multiplication re-rounds by at most a
+    // few ULPs (~1e-16), so no completion that ties or beats the
+    // incumbent can ever be cut by the changed rounding — admissibility
+    // is preserved, only microscopically-marginal prunes may differ from
+    // the division spelling.
+    const double inc_scaled = incumbent_ * (1 + kBoundSafety);
+    double parent_cost = 0.0;
+    if (cursor_ != nullptr && live > 0 && sh_.linear_cost) {
+      for (int j = 0; j < sh_.m; ++j) {
+        parent_cost += sh_.class_price[static_cast<size_t>(j)] * cur[j];
+      }
+    }
+    live = 0;
+    for (int cls = 0; cls < sh_.m; ++cls) {
+      if (mask_[cls] == 0) continue;
+      double toc_num = 0.0;
+      double toc_den = 1.0;
       if (cursor_ != nullptr) {
-        placement_[static_cast<size_t>(obj)] = cls;
-        cursor_->Assign(obj, placement_);
-        const QuickPerf qp = cursor_->Optimistic(placement_);
-        cursor_->Unassign(obj);
+        const QuickPerf& qp = qps_[cls];
         if (!qp.sla_ok) {
           PruneInfeasible(depth + 1);
           continue;
@@ -327,34 +427,39 @@ class SubtreeWalker {
         if (qp.tasks_per_hour > 0) {
           // Admissible TOC lower bound: assigned space priced exactly,
           // every unassigned object at its guaranteed marginal minimum,
-          // divided by the optimistic throughput.
-          const double cost_lb = CompletionCostLowerBoundCentsPerHour(
-              *sh_.problem->box, next, sh_.m,
-              sh_.suffix_min_cost[static_cast<size_t>(depth + 1)],
-              sh_.problem->cost_model);
-          toc_lb = cost_lb / qp.tasks_per_hour;
-          if (toc_lb > incumbent_ * (1 + kBoundSafety)) {
+          // over the optimistic throughput tp_num / tp_den:
+          // toc = cost_lb·tp_den / tp_num.
+          const double cost_lb =
+              ChildCostLowerBound(parent_cost, cur, cls, size, depth + 1);
+          toc_num = cost_lb * tpden_[cls];
+          toc_den = qp.tasks_per_hour;
+          if (toc_num > inc_scaled * toc_den) {
             PruneBound(depth + 1);
             continue;
           }
         }
       }
-      probes[live].toc_lb = toc_lb;
+      probes[live].toc_num = toc_num;
+      probes[live].toc_den = toc_den;
       probes[live].cls = cls;
       ++live;
     }
-
-    if (child_is_leaf) return;
 
     // Best-first child order: most promising bound first (class index
     // breaks exact bound ties deterministically), so a near-optimal
     // incumbent appears early and the later siblings get pruned by the
     // re-check below.
     std::sort(probes, probes + live, [](const Probe& a, const Probe& b) {
-      return a.toc_lb != b.toc_lb ? a.toc_lb < b.toc_lb : a.cls < b.cls;
+      const double lhs = a.toc_num * b.toc_den;
+      const double rhs = b.toc_num * a.toc_den;
+      return lhs != rhs ? lhs < rhs : a.cls < b.cls;
     });
     for (int i = 0; i < live; ++i) {
-      if (probes[i].toc_lb > incumbent_ * (1 + kBoundSafety)) {
+      // Incumbent may have improved since the probe; same cross-multiplied
+      // compare as pass 3 (incumbent_ changes between iterations, so the
+      // scaled incumbent cannot be hoisted here).
+      if (probes[i].toc_num >
+          incumbent_ * (1 + kBoundSafety) * probes[i].toc_den) {
         PruneBound(depth + 1);
         continue;
       }
@@ -375,9 +480,14 @@ class SubtreeWalker {
 
   const BnbShared& sh_;
   std::vector<std::vector<int>>* task_sink_;
-  std::vector<int> placement_;
-  std::vector<double> used_;   ///< (n+1) × m space snapshots
-  std::vector<Probe> probes_;  ///< (n+1) × m child-probe scratch
+  Arena* arena_;
+  std::vector<int> placement_;  ///< vector: the scorer API's currency
+  double* used_ = nullptr;      ///< (n+1) × m space snapshots, arena-backed
+  Probe* probes_ = nullptr;     ///< (n+1) × m child-probe scratch
+  unsigned char* mask_ = nullptr;  ///< per-class space-feasibility, one node
+  QuickPerf* qps_ = nullptr;       ///< per-class batched probe results
+  double* pfree_ = nullptr;        ///< per-class parent free space, one node
+  double* tpden_ = nullptr;        ///< per-class probe ratio denominators
   std::unique_ptr<FastScorer::BoundCursor> cursor_;
   double incumbent_;
   BnbStats stats_;
@@ -410,10 +520,13 @@ DotResult BranchAndBoundSearch(
   sh.m = m;
 
   sh.capacity.reserve(static_cast<size_t>(m));
+  sh.class_price.reserve(static_cast<size_t>(m));
+  sh.linear_cost = !problem.cost_model.discrete;
   double max_price = 0.0;
   double min_price = std::numeric_limits<double>::infinity();
   for (const StorageClass& sc : problem.box->classes) {
     sh.capacity.push_back(sc.capacity_gb());
+    sh.class_price.push_back(sc.price_cents_per_gb_hour());
     max_price = std::max(max_price, sc.price_cents_per_gb_hour());
     min_price = std::min(min_price, sc.price_cents_per_gb_hour());
   }
@@ -533,21 +646,42 @@ DotResult BranchAndBoundSearch(
   sh.shard_depth = shard_depth;
 
   std::vector<std::vector<int>> tasks;
-  SubtreeWalker prefix_walker(sh, &tasks);
+  Arena prefix_arena;
+  SubtreeWalker prefix_walker(sh, &tasks, &prefix_arena);
   prefix_walker.RunPrefix();
 
   BnbStats stats = prefix_walker.stats();
   SubtreeBest best;
 
+  // One arena + walker (and therefore one bound cursor) per shard, reused
+  // across the shard's tasks. Shard boundaries depend only on the task
+  // count — never on the thread count — and BeginTask restores fresh-walker
+  // state per task, so per-task results are identical at any parallelism.
+  // The shard count caps at 64 for load balancing; below that it is one
+  // task per shard, exactly the old walker-per-task behaviour minus the
+  // allocations.
   ThreadPool pool(problem.options.num_threads);
+  const int num_shards = static_cast<int>(std::min<size_t>(tasks.size(), 64));
   std::vector<BnbStats> task_stats(tasks.size());
   std::vector<SubtreeBest> task_best(tasks.size());
-  pool.ParallelFor(0, static_cast<int64_t>(tasks.size()), [&](int64_t i) {
-    SubtreeWalker walker(sh, nullptr);
-    walker.RunSubtree(tasks[static_cast<size_t>(i)]);
-    task_stats[static_cast<size_t>(i)] = walker.stats();
-    task_best[static_cast<size_t>(i)] = walker.best();
-  });
+  std::vector<std::uint64_t> shard_resets(
+      static_cast<size_t>(num_shards), 0);
+  std::vector<std::uint64_t> shard_peak(static_cast<size_t>(num_shards), 0);
+  if (!tasks.empty()) {
+    pool.ParallelForShards(
+        0, static_cast<int64_t>(tasks.size()), num_shards,
+        [&](int shard, int64_t shard_begin, int64_t shard_end) {
+          Arena arena;
+          SubtreeWalker walker(sh, nullptr, &arena);
+          for (int64_t i = shard_begin; i < shard_end; ++i) {
+            walker.RunSubtree(tasks[static_cast<size_t>(i)]);
+            task_stats[static_cast<size_t>(i)] = walker.stats();
+            task_best[static_cast<size_t>(i)] = walker.best();
+          }
+          shard_resets[static_cast<size_t>(shard)] = arena.resets();
+          shard_peak[static_cast<size_t>(shard)] = arena.bytes_peak();
+        });
+  }
 
   // Reduce under the BetterCandidate total order (any reduction order
   // yields the same winner; see candidate_evaluator.h).
@@ -566,6 +700,16 @@ DotResult BranchAndBoundSearch(
   result.nodes_pruned_infeasible = stats.pruned_infeasible;
   result.layouts_pruned = stats.layouts_pruned;
   result.layouts_evaluated = stats.leaves;
+  // Deterministic at any thread count: resets sum over the fixed shard
+  // set, peak is an order-free max.
+  std::uint64_t arena_resets = prefix_arena.resets();
+  std::uint64_t arena_peak = prefix_arena.bytes_peak();
+  for (int s = 0; s < num_shards; ++s) {
+    arena_resets += shard_resets[static_cast<size_t>(s)];
+    arena_peak = std::max(arena_peak, shard_peak[static_cast<size_t>(s)]);
+  }
+  result.arena_resets = static_cast<long long>(arena_resets);
+  result.arena_bytes_peak = static_cast<long long>(arena_peak);
   if (fast != nullptr) {
     result.plan_cache_hits = fast->plan_cache_hits();
     result.plan_cache_misses = fast->plan_cache_misses();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd_dispatch.h"
 
 namespace dot {
 
@@ -35,12 +36,20 @@ EnsembleVerdict AggregateEnsemble(const EnsembleObjective& objective,
   if (!cvar) {
     // E[TOC] = cost · Σ w_k / thr_k, so the effective throughput is the
     // weighted harmonic mean. An unbounded scenario (thr 0, only possible
-    // for optimistic bounds) contributes its best case: nothing.
-    double sum = 0.0;
+    // for optimistic bounds) contributes its best case: nothing. Terms are
+    // buffered and summed through the pinned blocked schedule — every
+    // caller (fast scorer, bound cursor, full estimator) funnels into this
+    // one function, so the schedule choice cannot break fast == full.
+    std::array<double, kMaxScenarios> terms;
+    int n = 0;
     for (int i = 0; i < k; ++i) {
       const double thr = scores[i].tasks_per_hour;
-      if (thr > 0.0) sum += weights[static_cast<size_t>(i)] / thr;
+      if (thr > 0.0) {
+        terms[static_cast<size_t>(n++)] =
+            weights[static_cast<size_t>(i)] / thr;
+      }
     }
+    const double sum = BlockedSum(terms.data(), n);
     out.tasks_per_hour = sum > 0.0 ? 1.0 / sum : 0.0;
     return out;
   }

@@ -39,16 +39,23 @@ Layout Layout::WithMoves(const std::vector<int>& members,
   for (size_t i = 0; i < members.size(); ++i) {
     DOT_CHECK(members[i] >= 0 &&
               members[i] < static_cast<int>(placement.size()));
+    DOT_CHECK(classes[i] >= 0 && classes[i] < box_->NumClasses())
+        << "invalid storage class " << classes[i];
     placement[static_cast<size_t>(members[i])] = classes[i];
   }
-  return Layout(schema_, box_, std::move(placement));
+  // The base placement was validated when *this was built and only the
+  // just-checked entries changed, so skip the O(n) re-validation.
+  return Layout(schema_, box_, std::move(placement), ValidatedTag{});
 }
 
 SpaceUsage Layout::SpaceByClass() const {
   SpaceUsage used(static_cast<size_t>(box_->NumClasses()), 0.0);
-  for (const DbObject& o : schema_->objects()) {
-    used[static_cast<size_t>(placement_[static_cast<size_t>(o.id)])] +=
-        o.size_gb;
+  // Flat-array scan in object-id order — the same per-class accumulation
+  // order as iterating the DbObject records, so the sums are bit-identical.
+  const std::vector<double>& sizes = schema_->sizes_gb();
+  const int* placement = placement_.data();
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    used[static_cast<size_t>(placement[i])] += sizes[i];
   }
   return used;
 }

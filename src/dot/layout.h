@@ -74,6 +74,14 @@ class Layout {
   }
 
  private:
+  /// Validation-free path for internal factories whose placement is already
+  /// known valid (WithMoves: a copy of a validated placement with per-move
+  /// checked writes). The public constructor stays O(n)-checked.
+  struct ValidatedTag {};
+  Layout(const Schema* schema, const BoxConfig* box,
+         std::vector<int> placement, ValidatedTag)
+      : schema_(schema), box_(box), placement_(std::move(placement)) {}
+
   const Schema* schema_;
   const BoxConfig* box_;
   std::vector<int> placement_;

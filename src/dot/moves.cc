@@ -67,9 +67,13 @@ std::vector<Move> EnumerateMoves(const DotProblem& problem,
 
   const Layout l0 =
       Layout::Uniform(problem.schema, problem.box, l0_class);
-  const double l0_cost = l0.CostCentsPerHour(problem.cost_model);
+  const SpaceUsage l0_space = l0.SpaceByClass();
+  const double l0_cost =
+      LayoutCostCentsPerHour(*problem.box, l0_space, problem.cost_model);
+  const std::vector<double>& sizes = problem.schema->sizes_gb();
 
   std::vector<Move> moves;
+  SpaceUsage moved_space(static_cast<size_t>(m), 0.0);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     const ObjectGroup& g = groups[gi];
     const int k = g.size();
@@ -87,8 +91,20 @@ std::vector<Move> EnumerateMoves(const DotProblem& problem,
         move.group = static_cast<int>(gi);
         move.placement = p;
         move.dtime_ms = GroupIoTimeShareMs(problem, g, p) - t0;
-        const Layout moved = l0.WithMoves(g.members, p);
-        move.dcost = l0_cost - moved.CostCentsPerHour(problem.cost_model);
+        // Moved-layout space by delta from L0: only the group's members
+        // change class, so there is no need to materialize a Layout and
+        // rescan every object per enumerated move. Members are a strict
+        // subset of the objects summed into l0_space[l0_class], so the
+        // remainder stays non-negative.
+        moved_space = l0_space;
+        for (int i = 0; i < k; ++i) {
+          const double s = sizes[static_cast<size_t>(g.members[i])];
+          moved_space[static_cast<size_t>(l0_class)] -= s;
+          moved_space[static_cast<size_t>(p[static_cast<size_t>(i)])] += s;
+        }
+        move.dcost = l0_cost - LayoutCostCentsPerHour(*problem.box,
+                                                      moved_space,
+                                                      problem.cost_model);
         if (move.dcost > 0.0) {
           move.score = move.dtime_ms / move.dcost;
         } else {

@@ -183,9 +183,17 @@ DotResult DotOptimizer::Optimize() const {
            j < moves.size() && batch.size() < batch_capacity; ++j) {
         const Move& move = moves[j];
         const ObjectGroup& g = groups[static_cast<size_t>(move.group)];
-        Layout candidate = current.WithMoves(g.members, move.placement);
-        if (candidate == current) continue;
-        batch.push_back(std::move(candidate));
+        // Identity check before constructing: most moves in a converged
+        // sweep change nothing, and skipping them here avoids a placement
+        // copy per move.
+        bool differs = false;
+        for (size_t i = 0; i < g.members.size(); ++i) {
+          differs = differs ||
+                    current.placement()[static_cast<size_t>(g.members[i])] !=
+                        move.placement[i];
+        }
+        if (!differs) continue;
+        batch.push_back(current.WithMoves(g.members, move.placement));
         batch_move.push_back(j);
       }
       if (batch.empty()) break;  // only identity moves remain this sweep

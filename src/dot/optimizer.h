@@ -64,6 +64,15 @@ struct DotResult {
   long long plan_cache_hits = 0;
   long long plan_cache_misses = 0;
 
+  /// Search-arena traffic of the branch-and-bound engine (0 for the other
+  /// engines, which allocate nothing per node): total Reset() calls across
+  /// all task arenas plus the prefix walker's, and the largest high-water
+  /// live-byte mark of any single arena. resets is a sum over the
+  /// thread-count-independent shard set and bytes_peak an order-free max,
+  /// so both are deterministic at any parallelism. Diagnostics only.
+  long long arena_resets = 0;
+  long long arena_bytes_peak = 0;
+
   /// Wall-clock optimization time.
   double optimize_ms = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "dot/reprovision.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <limits>
@@ -7,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "dot/bnb_search.h"
@@ -225,13 +227,19 @@ ReprovisionPlan ReprovisionPlanner::Plan(
   const int k_pool = static_cast<int>(pool.size());
   plan.pool_size = k_pool;
 
+  // All DP-sized tables below come from one bump arena: one block serves
+  // the whole plan (single pass, so resets stays 0) and the high-water
+  // mark lands in the plan's arena counters.
+  Arena arena;
+
   // --- Score every pool layout under every epoch, through the one
   // full-path evaluation kernel both searches commit winners through. The
   // matrix is filled into distinct slots, so thread count cannot change a
   // value. Infeasible (capacity or SLA) scores are +inf.
-  std::vector<double> toc(static_cast<size_t>(num_epochs) *
-                              static_cast<size_t>(k_pool),
-                          kInf);
+  const size_t toc_cells =
+      static_cast<size_t>(num_epochs) * static_cast<size_t>(k_pool);
+  double* toc = arena.AllocateArray<double>(toc_cells);
+  std::fill(toc, toc + toc_cells, kInf);
   {
     ThreadPool threads(config_.options.num_threads);
     threads.ParallelFor(
@@ -271,12 +279,12 @@ ReprovisionPlan ReprovisionPlanner::Plan(
   // make K² large — the DP then prices transitions on the fly (same
   // function, same bits).
   const bool free_migration = config_.migration.IsZero() || weight == 0.0;
-  std::vector<double> pair_migration;
+  double* pair_migration = nullptr;
   const bool memoized = !free_migration && num_epochs > 1 &&
                         static_cast<long long>(k_pool) * k_pool <= (1 << 20);
   if (memoized) {
-    pair_migration.resize(static_cast<size_t>(k_pool) *
-                          static_cast<size_t>(k_pool));
+    pair_migration = arena.AllocateArray<double>(
+        static_cast<size_t>(k_pool) * static_cast<size_t>(k_pool));
     for (int j = 0; j < k_pool; ++j) {
       for (int k = 0; k < k_pool; ++k) {
         pair_migration[static_cast<size_t>(j) * static_cast<size_t>(k_pool) +
@@ -299,14 +307,16 @@ ReprovisionPlan ReprovisionPlanner::Plan(
   // --- Exact DP over epochs. dp[k] is the cheapest objective of any pool
   // sequence ending with layout k; the accounting order is the documented
   // contract: total = (total + weight·migration) + toc·duration.
-  std::vector<double> dp(static_cast<size_t>(k_pool), kInf);
-  std::vector<std::vector<int>> pred(
-      static_cast<size_t>(num_epochs),
-      std::vector<int>(static_cast<size_t>(k_pool), -1));
+  double* dp = arena.AllocateArray<double>(static_cast<size_t>(k_pool));
+  double* next = arena.AllocateArray<double>(static_cast<size_t>(k_pool));
+  std::fill(dp, dp + k_pool, kInf);
+  // pred flattened to [e * k_pool + k]; -1 = no feasible predecessor.
+  int* pred = arena.AllocateArray<int>(toc_cells);
+  std::fill(pred, pred + toc_cells, -1);
   for (int e = 0; e < num_epochs; ++e) {
     const double duration =
         schedule.epochs[static_cast<size_t>(e)].duration_hours;
-    std::vector<double> next(static_cast<size_t>(k_pool), kInf);
+    std::fill(next, next + k_pool, kInf);
     bool any_feasible = false;
     for (int k = 0; k < k_pool; ++k) {
       const double toc_ek = toc_at(e, k);
@@ -334,11 +344,12 @@ ReprovisionPlan ReprovisionPlanner::Plan(
       }
       if (best_j >= 0) {
         next[static_cast<size_t>(k)] = best;
-        pred[static_cast<size_t>(e)][static_cast<size_t>(k)] = best_j;
+        pred[static_cast<size_t>(e) * static_cast<size_t>(k_pool) +
+             static_cast<size_t>(k)] = best_j;
         any_feasible = true;
       }
     }
-    dp = std::move(next);
+    std::swap(dp, next);
     if (!any_feasible) {
       plan.status = Status::Infeasible(
           "no candidate layout satisfies epoch " + std::to_string(e) +
@@ -346,6 +357,8 @@ ReprovisionPlan ReprovisionPlanner::Plan(
                ? std::string()
                : " (" + schedule.epochs[static_cast<size_t>(e)].label + ")") +
           "'s capacity and SLA constraints");
+      plan.arena_resets = static_cast<long long>(arena.resets());
+      plan.arena_bytes_peak = static_cast<long long>(arena.bytes_peak());
       plan.plan_ms = NowMs() - start_ms;
       return plan;
     }
@@ -366,12 +379,13 @@ ReprovisionPlan ReprovisionPlanner::Plan(
     }
   }
   DOT_CHECK(best_k >= 0);  // any_feasible held for the last epoch
-  std::vector<int> choice(static_cast<size_t>(num_epochs), -1);
+  int* choice = arena.AllocateArray<int>(static_cast<size_t>(num_epochs));
+  std::fill(choice, choice + num_epochs, -1);
   choice[static_cast<size_t>(num_epochs - 1)] = best_k;
   for (int e = num_epochs - 1; e > 0; --e) {
     choice[static_cast<size_t>(e - 1)] =
-        pred[static_cast<size_t>(e)][static_cast<size_t>(choice[
-            static_cast<size_t>(e)])];
+        pred[static_cast<size_t>(e) * static_cast<size_t>(k_pool) +
+             static_cast<size_t>(choice[static_cast<size_t>(e)])];
   }
 
   // --- Fill the steps, re-accumulating the objective in the documented
@@ -383,6 +397,8 @@ ReprovisionPlan ReprovisionPlanner::Plan(
       },
       [&](int e) { return toc_at(e, choice[static_cast<size_t>(e)]); },
       &plan);
+  plan.arena_resets = static_cast<long long>(arena.resets());
+  plan.arena_bytes_peak = static_cast<long long>(arena.bytes_peak());
   plan.plan_ms = NowMs() - start_ms;
   return plan;
 }

@@ -8,6 +8,13 @@ namespace dot {
 
 namespace {
 
+/// layouts/s from a count and a wall-clock; 0 when either is 0 so the
+/// field never divides by zero or reports a nonsense rate for a no-op run.
+double LayoutsPerSecond(long long layouts, double ms) {
+  if (layouts <= 0 || ms <= 0.0) return 0.0;
+  return static_cast<double>(layouts) / (ms / 1000.0);
+}
+
 /// Folds a single-shot DotResult into the common shape.
 SolveResult FromDot(DotResult result, SolveMethod method,
                     const char* engine) {
@@ -24,7 +31,11 @@ SolveResult FromDot(DotResult result, SolveMethod method,
   out.provenance.nodes_pruned_infeasible = result.nodes_pruned_infeasible;
   out.provenance.plan_cache_hits = result.plan_cache_hits;
   out.provenance.plan_cache_misses = result.plan_cache_misses;
+  out.provenance.arena_resets = result.arena_resets;
+  out.provenance.arena_bytes_peak = result.arena_bytes_peak;
   out.provenance.solve_ms = result.optimize_ms;
+  out.provenance.layouts_per_s =
+      LayoutsPerSecond(result.layouts_evaluated, result.optimize_ms);
   out.dot = std::move(result);
   return out;
 }
@@ -146,7 +157,11 @@ SolveResult Solve(const DotProblem& problem, const SolveSpec& spec) {
       out.provenance.engine = "epoch-dp";
       out.provenance.layouts_evaluated = out.plan.layouts_evaluated;
       out.provenance.pool_size = out.plan.pool_size;
+      out.provenance.arena_resets = out.plan.arena_resets;
+      out.provenance.arena_bytes_peak = out.plan.arena_bytes_peak;
       out.provenance.solve_ms = out.plan.plan_ms;
+      out.provenance.layouts_per_s =
+          LayoutsPerSecond(out.plan.layouts_evaluated, out.plan.plan_ms);
       if (out.status.ok() && !out.plan.steps.empty()) {
         out.placement = out.plan.steps.front().placement;
         out.toc_cents_per_task = out.plan.steps.front().toc_cents_per_task;
@@ -169,6 +184,8 @@ SolveResult Solve(const DotProblem& problem, const SolveSpec& spec) {
       out.provenance.pool_builds = out.fleet.pool_builds;
       out.provenance.pool_cache_hits = out.fleet.pool_cache_hits;
       out.provenance.solve_ms = out.fleet.plan_ms;
+      out.provenance.layouts_per_s =
+          LayoutsPerSecond(out.fleet.layouts_evaluated, out.fleet.plan_ms);
       return out;
     }
   }

@@ -136,6 +136,19 @@ struct SolveProvenance {
   long long plan_cache_hits = 0;
   long long plan_cache_misses = 0;
 
+  /// Evaluation throughput of the engine run: layouts_evaluated divided by
+  /// solve_ms (0 when either is 0). The raw-speed number the perf benches
+  /// track, surfaced here so the advisor loop and ops tooling see it
+  /// per-solve. Wall-clock derived — never compare bitwise.
+  double layouts_per_s = 0.0;
+
+  /// Search-arena traffic (kExact branch-and-bound and kEpochPlan's DP;
+  /// zero elsewhere): arena Reset() calls and the largest single-arena
+  /// high-water byte mark. Deterministic at any thread count
+  /// (dot/optimizer.h).
+  long long arena_resets = 0;
+  long long arena_bytes_peak = 0;
+
   /// kEpochPlan: the DP's candidate-pool size.
   int pool_size = 0;
 

@@ -23,6 +23,14 @@ enum class PlanOp {
 
 const char* PlanOpName(PlanOp op);
 
+/// One object's I/O contribution within a single plan node. A node touches
+/// at most a handful of objects, so per-node I/O is kept sparse; the dense
+/// per-object profile is aggregated once per plan into Plan::io_by_object.
+struct NodeIo {
+  int object_id = -1;
+  IoVector io;
+};
+
 /// A node of a chosen physical plan. The tree is left-deep: joins have the
 /// running pipeline as child 0 and the inner access as child 1.
 struct PlanNode {
@@ -36,9 +44,22 @@ struct PlanNode {
   double io_ms = 0.0;
   /// Estimated CPU time of this node alone, ms.
   double cpu_ms = 0.0;
-  /// Per-object I/O issued by this node alone.
-  ObjectIoMap io;
+  /// Per-object I/O issued by this node alone (sparse; at most one entry
+  /// per object, in insertion order).
+  std::vector<NodeIo> io;
   std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Adds `delta` to this node's entry for `object_id`, appending a new
+  /// entry when the object has none yet.
+  void AddIo(int object_id, const IoVector& delta) {
+    for (NodeIo& entry : io) {
+      if (entry.object_id == object_id) {
+        entry.io += delta;
+        return;
+      }
+    }
+    io.push_back(NodeIo{object_id, delta});
+  }
 };
 
 /// A complete plan for one query under one specific layout.

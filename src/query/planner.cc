@@ -84,8 +84,7 @@ Planner::PathCost Planner::CostSeqScan(
 
   IoVector table_io;
   table_io[IoType::kSeqRead] = table.pages();
-  node->io.assign(static_cast<size_t>(schema_->NumObjects()), IoVector{});
-  node->io[static_cast<size_t>(table_id)] = table_io;
+  node->AddIo(table_id, table_io);
   node->io_ms = DeviceTimeMs(table_id, placement, table_io);
   node->cpu_ms = table.num_rows * config_.cpu_ms_per_row;
 
@@ -129,9 +128,8 @@ Planner::PathCost Planner::CostIndexScan(
   node->op = PlanOp::kIndexScan;
   node->object_id = index_id;
   node->output_rows = table.num_rows * ra.selectivity;
-  node->io.assign(static_cast<size_t>(schema_->NumObjects()), IoVector{});
-  node->io[static_cast<size_t>(index_id)] = index_io;
-  node->io[static_cast<size_t>(table_id)] = table_io;
+  node->AddIo(index_id, index_io);
+  node->AddIo(table_id, table_io);
   node->io_ms = DeviceTimeMs(index_id, placement, index_io) +
                 DeviceTimeMs(table_id, placement, table_io);
   node->cpu_ms = matches * config_.cpu_ms_per_row;
@@ -189,7 +187,6 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
       auto node = std::make_unique<PlanNode>();
       node->op = PlanOp::kHashJoin;
       node->output_rows = out_rows;
-      node->io.assign(n_objects, IoVector{});
       node->io_ms = 0.0;
       node->cpu_ms =
           (pipeline_rows + inner.node->output_rows) * config_.cpu_ms_per_row;
@@ -209,7 +206,7 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
         temp_io[IoType::kSeqWrite] =
             spill_bytes / inner_table.row_bytes;  // rows written (per-row SW)
         temp_io[IoType::kSeqRead] = spill_pages;  // read back (per-page SR)
-        node->io[static_cast<size_t>(config_.temp_object_id)] = temp_io;
+        node->AddIo(config_.temp_object_id, temp_io);
         node->io_ms +=
             DeviceTimeMs(config_.temp_object_id, placement, temp_io);
       }
@@ -249,9 +246,8 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
       node->op = PlanOp::kIndexNLJoin;
       node->object_id = inner_index_id;
       node->output_rows = out_rows;
-      node->io.assign(n_objects, IoVector{});
-      node->io[static_cast<size_t>(inner_index_id)] = index_io;
-      node->io[static_cast<size_t>(inner_table_id)] += heap_io_vec;
+      node->AddIo(inner_index_id, index_io);
+      node->AddIo(inner_table_id, heap_io_vec);
       node->io_ms = DeviceTimeMs(inner_index_id, placement, index_io) +
                     DeviceTimeMs(inner_table_id, placement, heap_io_vec);
       node->cpu_ms =
@@ -284,7 +280,6 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
     auto node = std::make_unique<PlanNode>();
     node->op = PlanOp::kSort;
     node->output_rows = pipeline_rows;
-    node->io.assign(n_objects, IoVector{});
     node->cpu_ms = pipeline_rows * std::log2(std::max(2.0, pipeline_rows)) *
                    config_.cpu_ms_per_row * kSortCpuFactor;
     const double sort_bytes = pipeline_rows * pipeline_row_bytes;
@@ -295,7 +290,7 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
       IoVector temp_io;
       temp_io[IoType::kSeqWrite] = pipeline_rows;
       temp_io[IoType::kSeqRead] = spill_pages;
-      node->io[static_cast<size_t>(config_.temp_object_id)] = temp_io;
+      node->AddIo(config_.temp_object_id, temp_io);
       node->io_ms = DeviceTimeMs(config_.temp_object_id, placement, temp_io);
     }
     pipeline.total_ms += node->io_ms + node->cpu_ms;
@@ -308,7 +303,6 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
     auto node = std::make_unique<PlanNode>();
     node->op = PlanOp::kAggregate;
     node->output_rows = std::max(1.0, pipeline_rows * 0.01);
-    node->io.assign(n_objects, IoVector{});
     node->cpu_ms =
         pipeline_rows * config_.cpu_ms_per_row * spec.cpu_weight;
     pipeline.total_ms += node->cpu_ms;
@@ -319,8 +313,13 @@ Plan Planner::PlanQuery(const QuerySpec& spec,
   // Fold per-node I/O and time into plan totals via a tree walk.
   plan.root = std::move(pipeline.node);
   struct Walker {
+    // Node order (pre-order) and per-node entry order are the accumulation
+    // schedule; each object has at most one entry per node, so this matches
+    // the dense elementwise sum bit for bit.
     static void Walk(const PlanNode& node, Plan& plan) {
-      AccumulateIo(plan.io_by_object, node.io);
+      for (const NodeIo& entry : node.io) {
+        plan.io_by_object[static_cast<size_t>(entry.object_id)] += entry.io;
+      }
       plan.io_ms += node.io_ms;
       plan.cpu_ms += node.cpu_ms;
       for (const auto& child : node.children) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -11,11 +13,22 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/simd_dispatch.h"
 #include "common/units.h"
 
 namespace dot {
 
 namespace {
+
+/// Dense template caches above this entry count fall back to the hashed
+/// map: M^|footprint| grows fast, and 8192 doubles (64 KiB) per template
+/// is where the dense array stops paying for itself.
+constexpr std::int64_t kDenseCacheMaxEntries = 8192;
+
+/// Empty-slot sentinel for dense cache entries: an all-ones bit pattern
+/// (a quiet NaN with a payload PlanTime can never produce — plan times
+/// are finite).
+constexpr std::uint64_t kEmptyCacheSlot = ~std::uint64_t{0};
 
 /// The DSS fast path. Per template it keeps a cache of estimated times
 /// keyed by the placement restricted to the template's footprint; scoring a
@@ -58,6 +71,7 @@ class DssFastScorer : public FastScorer {
     }
 
     const int num_objects = model_->schema().NumObjects();
+    const int num_classes = box_->NumClasses();
     templates_by_object_.assign(static_cast<size_t>(num_objects), {});
     footprints_.resize(templates.size());
     for (size_t t = 0; t < templates.size(); ++t) {
@@ -68,10 +82,41 @@ class DssFastScorer : public FastScorer {
         templates_by_object_[static_cast<size_t>(o)].push_back(
             static_cast<int>(t));
       }
+      // Small footprints get a dense lock-free cache: one slot per
+      // placement of the footprint, indexed by the base-M key the probe
+      // computes. Values are deterministic functions of the key, so a
+      // racing first-wins fill stores the same bits either way.
+      std::int64_t entries = 1;
+      for (size_t i = 0; i < footprints_[t].size(); ++i) {
+        entries *= num_classes;
+        if (entries > kDenseCacheMaxEntries) break;
+      }
+      if (entries <= kDenseCacheMaxEntries) {
+        TemplateCache& cache = *caches_.back();
+        cache.dense_size = entries;
+        cache.dense =
+            std::make_unique<std::atomic<std::uint64_t>[]>(
+                static_cast<size_t>(entries));
+        for (std::int64_t i = 0; i < entries; ++i) {
+          cache.dense[static_cast<size_t>(i)].store(
+              kEmptyCacheSlot, std::memory_order_relaxed);
+        }
+      }
     }
 
     floors_.assign(templates.size(), 0.0);
     cond_floors_.resize(templates.size());
+
+    num_classes_ = num_classes;
+    fp_offsets_.reserve(templates.size() + 1);
+    fp_offsets_.push_back(0);
+    dense_slots_.reserve(templates.size());
+    for (size_t t = 0; t < templates.size(); ++t) {
+      fp_objects_.insert(fp_objects_.end(), footprints_[t].begin(),
+                         footprints_[t].end());
+      fp_offsets_.push_back(static_cast<int>(fp_objects_.size()));
+      dense_slots_.push_back(caches_[t]->dense.get());
+    }
   }
 
   /// Branch-and-bound floors, built on first demand (MakeBoundCursor /
@@ -160,9 +205,11 @@ class DssFastScorer : public FastScorer {
     static thread_local std::vector<double> times;
     static thread_local std::string sig;
     times.resize(footprints_.size());
+    CacheTally tally;
     for (size_t t = 0; t < footprints_.size(); ++t) {
-      times[t] = TemplateTime(static_cast<int>(t), placement, sig);
+      times[t] = TemplateTime(static_cast<int>(t), placement, sig, tally);
     }
+    FlushTally(tally);
     return ScoreFromTimes(times.data());
   }
 
@@ -220,18 +267,22 @@ class DssFastScorer : public FastScorer {
 
     void Reset(const std::vector<int>& placement) override {
       times_.resize(scorer_->footprints_.size());
+      CacheTally tally;
       for (size_t t = 0; t < times_.size(); ++t) {
-        times_[t] =
-            scorer_->TemplateTime(static_cast<int>(t), placement, sig_);
+        times_[t] = scorer_->TemplateTime(static_cast<int>(t), placement,
+                                          sig_, tally);
       }
+      scorer_->FlushTally(tally);
     }
 
     void Touch(int object_id, const std::vector<int>& placement) override {
+      CacheTally tally;
       for (int t :
            scorer_->templates_by_object_[static_cast<size_t>(object_id)]) {
         times_[static_cast<size_t>(t)] =
-            scorer_->TemplateTime(t, placement, sig_);
+            scorer_->TemplateTime(t, placement, sig_, tally);
       }
+      scorer_->FlushTally(tally);
     }
 
     QuickPerf Score(const std::vector<int>& placement) const override {
@@ -270,11 +321,12 @@ class DssFastScorer : public FastScorer {
     void Assign(int object_id, const std::vector<int>& placement) override {
       const int c = placement[static_cast<size_t>(object_id)];
       cls_[static_cast<size_t>(object_id)] = c;
+      CacheTally tally;
       for (int t :
            scorer_->templates_by_object_[static_cast<size_t>(object_id)]) {
         if (--unassigned_[static_cast<size_t>(t)] == 0) {
           times_[static_cast<size_t>(t)] =
-              scorer_->TemplateTime(t, placement, sig_);
+              scorer_->TemplateTime(t, placement, sig_, tally);
         } else {
           // Still incomplete: raise the floor with this object's
           // conditional (a running max is exact on the LIFO path because
@@ -284,6 +336,7 @@ class DssFastScorer : public FastScorer {
                        CondFloor(t, object_id, c));
         }
       }
+      scorer_->FlushTally(tally);
     }
 
     void Unassign(int object_id) override {
@@ -342,28 +395,82 @@ class DssFastScorer : public FastScorer {
   };
 
   struct TemplateCache {
+    /// Dense path (footprints with at most kDenseCacheMaxEntries
+    /// placements): one atomic double-as-bits slot per base-M key,
+    /// kEmptyCacheSlot when unfilled. Lock-free: a probe is one relaxed
+    /// load, a fill one relaxed store of a value any racing filler would
+    /// compute identically.
+    std::int64_t dense_size = 0;  ///< 0 = use the hashed map below
+    std::unique_ptr<std::atomic<std::uint64_t>[]> dense;
+
     mutable std::shared_mutex mu;
     std::unordered_map<std::string, double> by_signature;
   };
 
+  /// Per-call hit/miss tallies: one atomic flush per scoring call instead
+  /// of one RMW per probe (the probes themselves are a handful of ns, so a
+  /// shared-counter fetch_add per probe dominated the dense path). Counts
+  /// stay exact, so the DotResult cache counters are unchanged.
+  struct CacheTally {
+    long long hits = 0;
+    long long misses = 0;
+  };
+
+  void FlushTally(const CacheTally& tally) const {
+    if (tally.hits > 0) {
+      hits_.fetch_add(tally.hits, std::memory_order_relaxed);
+    }
+    if (tally.misses > 0) {
+      misses_.fetch_add(tally.misses, std::memory_order_relaxed);
+    }
+  }
+
   /// Estimated time of template `t`, via the cache. `sig` is caller scratch
-  /// (small-string optimized: building a key allocates nothing for
-  /// footprints up to ~22 objects).
+  /// for the hashed fallback (small-string optimized: building a key
+  /// allocates nothing for footprints up to ~22 objects).
   double TemplateTime(int t, const std::vector<int>& placement,
-                      std::string& sig) const {
-    if (!used_[static_cast<size_t>(t)]) return 0.0;
-    const std::vector<int>& footprint = footprints_[static_cast<size_t>(t)];
+                      std::string& sig, CacheTally& tally) const {
+    // Flat-array fast path: an unused template has an empty footprint
+    // range (and time 0); a dense-cached one costs the base-M key loop
+    // plus one relaxed load.
+    const size_t ti = static_cast<size_t>(t);
+    const int begin = fp_offsets_[ti];
+    const int end = fp_offsets_[ti + 1];
+    if (begin == end) return 0.0;  // never runs in the sequence
+    if (std::atomic<std::uint64_t>* dense = dense_slots_[ti]) {
+      const int m = num_classes_;
+      const int* p = placement.data();
+      std::int64_t key = 0;
+      for (int i = begin; i < end; ++i) {
+        key = key * m + p[fp_objects_[static_cast<size_t>(i)]];
+      }
+      std::atomic<std::uint64_t>& slot = dense[static_cast<size_t>(key)];
+      const std::uint64_t bits = slot.load(std::memory_order_relaxed);
+      if (bits != kEmptyCacheSlot) {
+        tally.hits += 1;
+        double time_ms;
+        std::memcpy(&time_ms, &bits, sizeof(time_ms));
+        return time_ms;
+      }
+      const double time_ms = PlanTime(t, placement);
+      tally.misses += 1;
+      std::uint64_t out;
+      std::memcpy(&out, &time_ms, sizeof(out));
+      slot.store(out, std::memory_order_relaxed);
+      return time_ms;
+    }
+    const std::vector<int>& footprint = footprints_[ti];
+    TemplateCache& cache = *caches_[ti];
     sig.resize(footprint.size());
     for (size_t i = 0; i < footprint.size(); ++i) {
       sig[i] = static_cast<char>(
           placement[static_cast<size_t>(footprint[i])]);
     }
-    TemplateCache& cache = *caches_[static_cast<size_t>(t)];
     {
       std::shared_lock<std::shared_mutex> lock(cache.mu);
       auto it = cache.by_signature.find(sig);
       if (it != cache.by_signature.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        tally.hits += 1;
         return it->second;
       }
     }
@@ -371,7 +478,7 @@ class DssFastScorer : public FastScorer {
     // insert. A concurrent planner of the same key computed the same value,
     // so first-wins insertion is safe.
     const double time_ms = PlanTime(t, placement);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    tally.misses += 1;
     std::unique_lock<std::shared_mutex> lock(cache.mu);
     return cache.by_signature.emplace(sig, time_ms).first->second;
   }
@@ -401,10 +508,11 @@ class DssFastScorer : public FastScorer {
         break;
       }
     }
+    // Pinned-schedule gather over the run sequence — the same schedule
+    // (and the same per-template addends) the full estimate sums with.
     const std::vector<int>& sequence = model_->sequence();
-    for (int idx : sequence) {
-      qp.elapsed_ms += time_by_template[static_cast<size_t>(idx)];
-    }
+    qp.elapsed_ms = GatherSum(time_by_template, sequence.data(),
+                              static_cast<int>(sequence.size()));
     if (qp.elapsed_ms > 0) {
       qp.tasks_per_hour = static_cast<double>(sequence.size()) /
                           (qp.elapsed_ms / kMsPerHour);
@@ -429,6 +537,14 @@ class DssFastScorer : public FastScorer {
   /// unused.
   mutable std::vector<std::vector<double>> cond_floors_;
   std::vector<std::unique_ptr<TemplateCache>> caches_;
+  /// Flat probe-side mirrors of the per-template state, built once at the
+  /// end of the constructor. A dense-cache probe touches only these three
+  /// arrays plus the slot itself — no unique_ptr or nested-vector chasing
+  /// in the hot loop.
+  int num_classes_ = 0;
+  std::vector<int> fp_offsets_;  ///< CSR offsets into fp_objects_, T+1
+  std::vector<int> fp_objects_;  ///< concatenated footprints (empty if unused)
+  std::vector<std::atomic<std::uint64_t>*> dense_slots_;  ///< null = hashed
   mutable std::atomic<long long> hits_{0};
   mutable std::atomic<long long> misses_{0};
 };
@@ -505,10 +621,11 @@ PerfEstimate DssWorkloadModel::EstimateWithIoScale(
   }
 
   for (int idx : sequence_) {
-    const double time_ms = plan_times[static_cast<size_t>(idx)];
-    est.unit_times_ms.push_back(time_ms);
-    est.elapsed_ms += time_ms;
+    est.unit_times_ms.push_back(plan_times[static_cast<size_t>(idx)]);
   }
+  // Same gather (addends and schedule) as the fast scorer's ScoreFromTimes.
+  est.elapsed_ms = GatherSum(plan_times.data(), sequence_.data(),
+                             static_cast<int>(sequence_.size()));
 
   // Each distinct plan's I/O and join census enter `count` times; multiply
   // once instead of re-accumulating per sequence entry.

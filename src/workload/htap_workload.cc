@@ -6,6 +6,7 @@
 
 #include "catalog/chbench.h"
 #include "common/check.h"
+#include "common/simd_dispatch.h"
 #include "common/units.h"
 #include "query/object_io.h"
 #include "workload/tpch_queries.h"
@@ -54,25 +55,23 @@ class HtapFastScorer : public FastScorer {
         static_cast<size_t>(n) * static_cast<size_t>(m), 0.0);
     if_excess_dss_.assign(
         static_cast<size_t>(n) * static_cast<size_t>(m), 0.0);
-    for (const HtapWorkload::InterferenceRow& row :
-         model->interference_rows()) {
-      double oltp_min = row.oltp_ms_by_class[0];
-      double dss_min = row.dss_ms_by_class[0];
+    for (int r = 0; r < model->num_interference_rows(); ++r) {
+      double oltp_min = model->interference_oltp_ms(r, 0);
+      double dss_min = model->interference_dss_ms(r, 0);
       for (int c = 0; c < m; ++c) {
-        oltp_min =
-            std::min(oltp_min, row.oltp_ms_by_class[static_cast<size_t>(c)]);
-        dss_min =
-            std::min(dss_min, row.dss_ms_by_class[static_cast<size_t>(c)]);
+        oltp_min = std::min(oltp_min, model->interference_oltp_ms(r, c));
+        dss_min = std::min(dss_min, model->interference_dss_ms(r, c));
       }
       if_base_oltp_ += oltp_min;
       if_base_dss_ += dss_min;
       const size_t base =
-          static_cast<size_t>(row.object) * static_cast<size_t>(m);
+          static_cast<size_t>(model->interference_object(r)) *
+          static_cast<size_t>(m);
       for (int c = 0; c < m; ++c) {
         if_excess_oltp_[base + static_cast<size_t>(c)] =
-            row.oltp_ms_by_class[static_cast<size_t>(c)] - oltp_min;
+            model->interference_oltp_ms(r, c) - oltp_min;
         if_excess_dss_[base + static_cast<size_t>(c)] =
-            row.dss_ms_by_class[static_cast<size_t>(c)] - dss_min;
+            model->interference_dss_ms(r, c) - dss_min;
       }
     }
   }
@@ -288,45 +287,43 @@ HtapWorkload::HtapWorkload(std::string name, const OltpWorkloadModel* oltp,
   // single-stream random-read latency.
   const int m = box_->NumClasses();
   for (int o = 0; o < n; ++o) {
+    if (oltp_intensity[static_cast<size_t>(o)] > 0 &&
+        dss_intensity[static_cast<size_t>(o)] > 0) {
+      if_objects_.push_back(o);
+    }
+  }
+  const size_t rows = if_objects_.size();
+  if_oltp_plane_.assign(static_cast<size_t>(m) * rows, 0.0);
+  if_dss_plane_.assign(static_cast<size_t>(m) * rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    const int o = if_objects_[r];
     const double a = oltp_intensity[static_cast<size_t>(o)];
     const double b = dss_intensity[static_cast<size_t>(o)];
-    if (a <= 0 || b <= 0) continue;
-    InterferenceRow row;
-    row.object = o;
-    row.oltp_ms_by_class.reserve(static_cast<size_t>(m));
-    row.dss_ms_by_class.reserve(static_cast<size_t>(m));
     for (int c = 0; c < m; ++c) {
       const DeviceModel& dev = box_->classes[static_cast<size_t>(c)].device();
-      row.oltp_ms_by_class.push_back(
+      if_oltp_plane_[static_cast<size_t>(c) * rows + r] =
           config_.interference_kappa * config_.analytics_streams *
           (b / dss_total) * a *
-          dev.LatencyMs(IoType::kRandRead, oltp_->concurrency()));
-      row.dss_ms_by_class.push_back(
+          dev.LatencyMs(IoType::kRandRead, oltp_->concurrency());
+      if_dss_plane_[static_cast<size_t>(c) * rows + r] =
           config_.interference_kappa * (a / oltp_total) * b *
-          oltp_->concurrency() * dev.LatencyMs(IoType::kRandRead, 1.0));
+          oltp_->concurrency() * dev.LatencyMs(IoType::kRandRead, 1.0);
     }
-    rows_.push_back(std::move(row));
   }
 }
 
 double HtapWorkload::OltpInterferenceMs(
     const std::vector<int>& placement) const {
-  double ms = 0.0;
-  for (const InterferenceRow& row : rows_) {
-    ms += row.oltp_ms_by_class[static_cast<size_t>(
-        placement[static_cast<size_t>(row.object)])];
-  }
-  return ms;
+  return PlaneGatherSum(if_oltp_plane_.data(), if_objects_.data(),
+                        placement.data(),
+                        static_cast<int>(if_objects_.size()));
 }
 
 double HtapWorkload::DssInterferenceMs(
     const std::vector<int>& placement) const {
-  double ms = 0.0;
-  for (const InterferenceRow& row : rows_) {
-    ms += row.dss_ms_by_class[static_cast<size_t>(
-        placement[static_cast<size_t>(row.object)])];
-  }
-  return ms;
+  return PlaneGatherSum(if_dss_plane_.data(), if_objects_.data(),
+                        placement.data(),
+                        static_cast<int>(if_objects_.size()));
 }
 
 double HtapWorkload::AnalyticsTasksPerHour(double dss_total_ms) const {

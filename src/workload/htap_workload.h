@@ -120,15 +120,26 @@ class HtapWorkload : public WorkloadModel {
   const DssWorkloadModel& dss() const { return *dss_; }
   const HtapConfig& config() const { return config_; }
 
-  /// One shared object's interference terms: time added per unit of the
-  /// foreground side's work when the object sits on a given class.
-  struct InterferenceRow {
-    int object = -1;
-    std::vector<double> oltp_ms_by_class;  ///< added to mean txn latency
-    std::vector<double> dss_ms_by_class;   ///< added to the sequence time
-  };
-  const std::vector<InterferenceRow>& interference_rows() const {
-    return rows_;
+  /// Interference tables in structure-of-arrays form: the shared objects
+  /// (ascending id) and, per side, one contiguous time[class][row] plane —
+  /// interference_*_ms(row, cls) is the time added per unit of that side's
+  /// work when the row's object sits on `cls`. Both interference sums are
+  /// one PlaneGatherSum over the row count.
+  int num_interference_rows() const {
+    return static_cast<int>(if_objects_.size());
+  }
+  int interference_object(int row) const {
+    return if_objects_[static_cast<size_t>(row)];
+  }
+  /// Added to the mean transaction latency.
+  double interference_oltp_ms(int row, int cls) const {
+    return if_oltp_plane_[static_cast<size_t>(cls) * if_objects_.size() +
+                          static_cast<size_t>(row)];
+  }
+  /// Added to the analytic sequence time.
+  double interference_dss_ms(int row, int cls) const {
+    return if_dss_plane_[static_cast<size_t>(cls) * if_objects_.size() +
+                         static_cast<size_t>(row)];
   }
 
   // Shared kernels between Estimate and the fast scorer — both paths must
@@ -154,7 +165,12 @@ class HtapWorkload : public WorkloadModel {
   const Schema* schema_;
   const BoxConfig* box_;
   HtapConfig config_;
-  std::vector<InterferenceRow> rows_;  ///< shared objects, ascending id
+  /// Interference SoA (see accessors above): objects touched by both
+  /// sides, ascending id, plus one [class * num_rows + row] plane per
+  /// side. Empty when interference_kappa == 0 or a side is idle.
+  std::vector<int> if_objects_;
+  std::vector<double> if_oltp_plane_;
+  std::vector<double> if_dss_plane_;
 };
 
 /// Everything a CH-benCHmark-style HTAP instance needs, with the inner

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd_dispatch.h"
 #include "common/units.h"
+#include "io/io_types.h"
 #include "query/object_io.h"
 
 namespace dot {
@@ -15,55 +17,95 @@ OltpLatencyTables::OltpLatencyTables(const OltpWorkloadModel& model,
     : num_objects_(static_cast<int>(model.txn_types().front().io.size())),
       num_classes_(box.NumClasses()) {
   const int num_classes = num_classes_;
+
+  // Hoisted per-(class, I/O type) unit latencies: LatencyMs runs a log/pow
+  // interpolation, so paying it rows x classes times used to dominate
+  // table construction. TimeForMs(χ, c) = Σ_r χ_r·τ_r(c) with zero counts
+  // skipped; the per-row loop below replays exactly that expression over
+  // the hoisted τ_r(c), so every plane value is bit-identical to what
+  // TimeForMs (and hence IoTimeShareMs on the full path) computes.
+  std::vector<double> unit_lat(static_cast<size_t>(num_classes) *
+                               kNumIoTypes);
+  for (int c = 0; c < num_classes; ++c) {
+    for (int r = 0; r < kNumIoTypes; ++r) {
+      unit_lat[static_cast<size_t>(c) * kNumIoTypes + r] =
+          box.classes[static_cast<size_t>(c)].device().LatencyMs(
+              static_cast<IoType>(r), model.concurrency());
+    }
+  }
+
+  // Single pass: planes, per-row minima, branch-and-bound tables.
+  // base_mean_latency_ms_ is the mix-weighted mean latency with *every*
+  // object on its per-row fastest class — the unconstrained minimum;
+  // excess_[o][c] is the guaranteed increase from committing object o to
+  // class c. Their sum over an assignment lower-bounds the mean latency
+  // of every completion (unassigned objects contribute at least their
+  // row minima).
+  excess_.assign(
+      static_cast<size_t>(num_objects_) * static_cast<size_t>(num_classes),
+      0.0);
+  base_mean_latency_ms_ = 0.0;
+  // Reserve at the non-zero-row upper bound: these tables are rebuilt per
+  // search, and growth reallocations were a visible slice of short-search
+  // setup time.
+  size_t max_rows = 0;
+  for (const TxnType& t : model.txn_types()) max_rows += t.io.size();
+  tables_.reserve(model.txn_types().size());
+  row_objects_.reserve(max_rows);
+  row_min_ms_.reserve(max_rows);
+  planes_.reserve(max_rows * static_cast<size_t>(num_classes));
+  std::vector<IoVector> row_io;  // per-table scratch
   for (const TxnType& t : model.txn_types()) {
     TxnTable table;
     table.weight = t.weight;
     table.cpu_ms = t.cpu_ms;
     table.overhead_ms = t.overhead_ms;
+    table.plane_begin = planes_.size();
+    table.obj_begin = row_objects_.size();
+    row_io.clear();
     for (size_t o = 0; o < t.io.size(); ++o) {
       IoVector io = t.io[o];
       if (!io_scale.empty()) io *= io_scale[o];
       // IoTimeShareMs skips zero entries; mirror that by storing only
       // non-zero rows (a zero row would contribute an exact 0.0 anyway).
       if (io.IsZero()) continue;
-      Row row;
-      row.object = static_cast<int>(o);
-      row.time_by_class.reserve(static_cast<size_t>(num_classes));
-      for (int c = 0; c < num_classes; ++c) {
-        row.time_by_class.push_back(
-            box.classes[static_cast<size_t>(c)].device().TimeForMs(
-                io, model.concurrency()));
-      }
-      table.rows.push_back(std::move(row));
+      row_objects_.push_back(static_cast<int>(o));
+      row_io.push_back(io);
     }
-    tables_.push_back(std::move(table));
-  }
-
-  // Branch-and-bound tables. base_mean_latency_ms_ is the mix-weighted
-  // mean latency with *every* object on its per-row fastest class — the
-  // unconstrained minimum; excess_[o][c] is the guaranteed increase from
-  // committing object o to class c. Their sum over an assignment lower-
-  // bounds the mean latency of every completion (the unassigned objects
-  // contribute at least their row minima).
-  excess_.assign(
-      static_cast<size_t>(num_objects_) * static_cast<size_t>(num_classes),
-      0.0);
-  base_mean_latency_ms_ = 0.0;
-  for (const TxnTable& t : tables_) {
+    table.num_rows = static_cast<int>(row_io.size());
+    const int rows = table.num_rows;
+    planes_.resize(table.plane_begin +
+                   static_cast<size_t>(num_classes) * rows);
+    double* plane = planes_.data() + table.plane_begin;
     double min_io_ms = 0.0;
-    for (const Row& row : t.rows) {
-      double row_min = row.time_by_class[0];
-      for (double v : row.time_by_class) row_min = std::min(row_min, v);
-      min_io_ms += row_min;
+    for (int r = 0; r < rows; ++r) {
+      const IoVector& io = row_io[static_cast<size_t>(r)];
+      const int object = row_objects_[table.obj_begin + r];
+      double row_min = 0.0;
       for (int c = 0; c < num_classes; ++c) {
-        excess_[static_cast<size_t>(row.object) *
+        const double* lat = unit_lat.data() +
+                            static_cast<size_t>(c) * kNumIoTypes;
+        double time_ms = 0.0;
+        for (int k = 0; k < kNumIoTypes; ++k) {
+          const double count = io[static_cast<IoType>(k)];
+          if (count != 0.0) time_ms += count * lat[k];
+        }
+        plane[static_cast<size_t>(c) * rows + r] = time_ms;
+        row_min = (c == 0) ? time_ms : std::min(row_min, time_ms);
+      }
+      for (int c = 0; c < num_classes; ++c) {
+        excess_[static_cast<size_t>(object) *
                     static_cast<size_t>(num_classes) +
                 static_cast<size_t>(c)] +=
-            t.weight * (row.time_by_class[static_cast<size_t>(c)] - row_min);
+            t.weight *
+            (plane[static_cast<size_t>(c) * rows + r] - row_min);
       }
+      row_min_ms_.push_back(row_min);
+      min_io_ms += row_min;
     }
     base_mean_latency_ms_ +=
         t.weight * (min_io_ms + t.cpu_ms + t.overhead_ms);
+    tables_.push_back(table);
   }
 }
 
@@ -71,11 +113,9 @@ double OltpLatencyTables::MeanLatencyMs(
     const std::vector<int>& placement) const {
   double mean_latency_ms = 0.0;
   for (const TxnTable& t : tables_) {
-    double io_ms = 0.0;
-    for (const Row& row : t.rows) {
-      io_ms += row.time_by_class[static_cast<size_t>(
-          placement[static_cast<size_t>(row.object)])];
-    }
+    const double io_ms = PlaneGatherSum(planes_.data() + t.plane_begin,
+                                        row_objects_.data() + t.obj_begin,
+                                        placement.data(), t.num_rows);
     const double latency = io_ms + t.cpu_ms + t.overhead_ms;
     mean_latency_ms += t.weight * latency;
   }
@@ -175,6 +215,59 @@ class OltpFastScorer : public FastScorer {
       return qp;
     }
 
+    /// Batched probe: the OLTP bound of assigning `object` to class c is
+    /// lb_stack_[depth_] + Excess(object, c) — one table row indexed by c
+    /// — so probing every class needs no per-class Assign/Unassign push.
+    /// Arithmetic is exactly the Assign → Optimistic (interior) → Unassign
+    /// sequence: (base + excess) rounds once, then deflates, then converts
+    /// — bit-identical to the default implementation.
+    void ProbeClasses(int object, std::vector<int>& placement,
+                      int num_classes, const unsigned char* mask,
+                      QuickPerf* out) override {
+      (void)placement;
+      const double base = lb_stack_[static_cast<size_t>(depth_)];
+      const double* excess_row = scorer_->tables_.ExcessRow(object);
+      for (int cls = 0; cls < num_classes; ++cls) {
+        if (mask[cls] == 0) continue;
+        const double lb_ms = (base + excess_row[cls]) * (1 - kBoundSafety);
+        const OltpWorkloadModel::Throughput tp =
+            scorer_->model_->ThroughputFromMeanLatency(lb_ms);
+        QuickPerf qp;
+        qp.elapsed_ms = scorer_->measurement_period_ms_;
+        qp.tpmc = tp.tpmc;
+        qp.tasks_per_hour = tp.tasks_per_hour;
+        qp.sla_ok = qp.tpmc >= scorer_->tpmc_floor_;
+        out[cls] = qp;
+      }
+    }
+
+    /// Division-free batched probe: the throughput conversion stays in
+    /// ratio form (see ThroughputRatioFromMeanLatency) and the tpmC floor
+    /// is checked by cross-multiplication — the whole per-class probe is
+    /// adds and multiplies.
+    void ProbeClassesRatio(int object, std::vector<int>& placement,
+                           int num_classes, const unsigned char* mask,
+                           QuickPerf* out, double* tp_den) override {
+      (void)placement;
+      const double base = lb_stack_[static_cast<size_t>(depth_)];
+      const double* excess_row = scorer_->tables_.ExcessRow(object);
+      const double floor = scorer_->tpmc_floor_;
+      for (int cls = 0; cls < num_classes; ++cls) {
+        if (mask[cls] == 0) continue;
+        const double lb_ms = (base + excess_row[cls]) * (1 - kBoundSafety);
+        double tpmc_num = 0.0;
+        double den = 1.0;
+        scorer_->model_->ThroughputRatioFromMeanLatency(lb_ms, &tpmc_num,
+                                                        &den);
+        QuickPerf qp;
+        qp.elapsed_ms = scorer_->measurement_period_ms_;
+        qp.tasks_per_hour = tpmc_num * 60.0;
+        qp.sla_ok = tpmc_num >= floor * den;
+        out[cls] = qp;
+        tp_den[cls] = den;
+      }
+    }
+
    private:
     const OltpFastScorer* scorer_;
     std::vector<double> lb_stack_;
@@ -255,6 +348,30 @@ OltpWorkloadModel::Throughput OltpWorkloadModel::ThroughputFromMeanLatency(
   tp.tpmc = tp.txns_per_minute * primary_weight;
   tp.tasks_per_hour = tp.tpmc * 60.0;
   return tp;
+}
+
+void OltpWorkloadModel::ThroughputRatioFromMeanLatency(double mean_latency_ms,
+                                                       double* tpmc_num,
+                                                       double* den) const {
+  const double w = txn_types_[static_cast<size_t>(primary_txn_)].weight;
+  if (contention_reference_ms_ > 0) {
+    const double ref = contention_reference_ms_;
+    if (mean_latency_ms < 0.9 * ref) {
+      // Unsaturated: effective latency lat/(1 - lat/ref) == lat·ref/(ref -
+      // lat), so tpmC = c·K·w·(ref - lat) / (lat·ref). Continuous with the
+      // saturated branch at lat == 0.9·ref.
+      *tpmc_num = concurrency_ * kMsPerMinute * w * (ref - mean_latency_ms);
+      *den = mean_latency_ms * ref;
+      return;
+    }
+    // Saturated: utilization capped at 0.9, effective latency lat/(1-0.9).
+    *tpmc_num = concurrency_ * kMsPerMinute * w * (1.0 - 0.9);
+    *den = mean_latency_ms;
+    return;
+  }
+  // No contention model: effective latency is the mean itself.
+  *tpmc_num = concurrency_ * kMsPerMinute * w;
+  *den = mean_latency_ms;
 }
 
 PerfEstimate OltpWorkloadModel::EstimateWithIoScale(

@@ -1,6 +1,7 @@
 #ifndef DOTPROV_WORKLOAD_OLTP_WORKLOAD_H_
 #define DOTPROV_WORKLOAD_OLTP_WORKLOAD_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,15 @@ class OltpWorkloadModel : public WorkloadModel {
   };
   Throughput ThroughputFromMeanLatency(double mean_latency_ms) const;
 
+  /// ThroughputFromMeanLatency's tpmC as an unreduced ratio:
+  /// tpmc == *tpmc_num / *den with *den > 0, and tasks-per-hour is
+  /// (*tpmc_num * 60) / *den — no division ever runs. Values match the
+  /// divided form up to ULP-level re-association, so callers must only
+  /// compare the ratio under an ε safety margin (the branch-and-bound
+  /// bound path), never consume it as an exact score.
+  void ThroughputRatioFromMeanLatency(double mean_latency_ms,
+                                      double* tpmc_num, double* den) const;
+
  private:
   std::string name_;
   const Schema* schema_;
@@ -128,27 +138,50 @@ class OltpLatencyTables {
                    static_cast<size_t>(cls)];
   }
 
+  /// Flat per-class Excess row of one object (Excess(object, c) ==
+  /// ExcessRow(object)[c]) — the batched bound probe walks all classes of
+  /// the object being assigned in one pass.
+  const double* ExcessRow(int object) const {
+    return excess_.data() +
+           static_cast<size_t>(object) * static_cast<size_t>(num_classes_);
+  }
+
   /// Spread of Excess across classes (a BnB variable-ordering hint).
   double SpreadMs(int object) const;
 
   int num_objects() const { return num_objects_; }
   int num_classes() const { return num_classes_; }
 
+  /// Per-row fastest-class times, precomputed during construction (one
+  /// entry per stored row, tables concatenated in order). Their
+  /// mix-weighted sum plus CPU/overhead is base_mean_latency_ms() — the
+  /// floor the bound cursor grows from.
+  const std::vector<double>& row_min_ms() const { return row_min_ms_; }
+
  private:
-  struct Row {
-    int object = -1;
-    std::vector<double> time_by_class;  ///< τ·χ summed over I/O types
-  };
+  /// One transaction type's slice of the SoA tables below. Rows are the
+  /// transaction's non-zero-I/O objects in ascending object order —
+  /// exactly the objects (and order) IoTimeShareMs visits, which is what
+  /// keeps the fast gather bit-identical to the full estimate.
   struct TxnTable {
     double weight = 0.0;
     double cpu_ms = 0.0;
     double overhead_ms = 0.0;
-    std::vector<Row> rows;  ///< ascending object id, non-zero I/O only
+    int num_rows = 0;
+    std::size_t plane_begin = 0;  ///< into planes_ (num_classes*num_rows)
+    std::size_t obj_begin = 0;    ///< into row_objects_ / row_min_ms_
   };
 
   int num_objects_ = 0;
   int num_classes_ = 0;
   std::vector<TxnTable> tables_;
+  /// Structure-of-arrays time planes: planes_[t.plane_begin + c*t.num_rows
+  /// + r] is row r's device time on class c. One contiguous plane per
+  /// class per table, so scoring a candidate is a contiguous gather over
+  /// the class each row's object is placed on (PlaneGatherSum).
+  std::vector<double> planes_;
+  std::vector<int> row_objects_;    ///< ascending object ids, per table
+  std::vector<double> row_min_ms_;  ///< min over classes, per row
   double base_mean_latency_ms_ = 0.0;
   std::vector<double> excess_;  ///< [object * num_classes + class]
 };

@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include "common/check.h"
+#include "common/simd_dispatch.h"
 #include "common/units.h"
 
 namespace dot {
@@ -36,8 +37,11 @@ PerfEstimate WorkloadModel::EstimateWithIoScale(
 
 void WorkloadModel::RederiveFromUnitTimes(PerfEstimate* est) const {
   if (sla_kind() != SlaKind::kPerQueryResponseTime) return;
-  double total = 0.0;
-  for (double t : est->unit_times_ms) total += t;
+  // Same pinned schedule the estimators sum entry times with, so a
+  // jitter-free rederive reproduces elapsed_ms bit for bit.
+  const double total =
+      BlockedSum(est->unit_times_ms.data(),
+                 static_cast<int>(est->unit_times_ms.size()));
   est->elapsed_ms = total;
   if (total > 0) {
     est->tasks_per_hour = static_cast<double>(est->unit_times_ms.size()) /

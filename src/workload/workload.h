@@ -141,6 +141,44 @@ class FastScorer {
     /// The optimistic completion score (see contract above). `placement`
     /// entries of unassigned objects are not read.
     virtual QuickPerf Optimistic(const std::vector<int>& placement) const = 0;
+    /// Batched interior probe for the branch-and-bound inner loop: for
+    /// every class c in [0, num_classes) with mask[c] != 0, evaluates the
+    /// optimistic completion that assigns `object` to c and writes it to
+    /// out[c] (masked-off entries are left untouched). `placement` is
+    /// scratch — the probed object's entry may be overwritten and holds an
+    /// unspecified class on return. The default is definitionally the
+    /// Assign / Optimistic / Unassign sequence per class in ascending
+    /// order; overrides exist purely so table-driven models can skip the
+    /// per-class state push, and must stay bit-identical to that sequence.
+    /// Callers only probe classes whose child node is interior (the search
+    /// evaluates leaves through Assign/Optimistic so they keep the exact
+    /// Score kernel).
+    virtual void ProbeClasses(int object, std::vector<int>& placement,
+                              int num_classes, const unsigned char* mask,
+                              QuickPerf* out) {
+      for (int cls = 0; cls < num_classes; ++cls) {
+        if (mask[cls] == 0) continue;
+        placement[static_cast<size_t>(object)] = cls;
+        Assign(object, placement);
+        out[cls] = Optimistic(placement);
+        Unassign(object);
+      }
+    }
+    /// ProbeClasses with the optimistic throughput returned as an
+    /// unreduced ratio: out[c].tasks_per_hour is the numerator and
+    /// tp_den[c] the (positive) denominator. Models whose throughput
+    /// conversion divides can fill both sides without ever dividing; the
+    /// search prunes and orders children by cross-multiplied compares
+    /// under the ε safety margin, so the ULP-level difference from the
+    /// divided value never cuts a tying completion. out[c].sla_ok keeps
+    /// its exact meaning; out[c]'s other fields are unspecified. The
+    /// default delegates to ProbeClasses with every denominator 1.
+    virtual void ProbeClassesRatio(int object, std::vector<int>& placement,
+                                   int num_classes, const unsigned char* mask,
+                                   QuickPerf* out, double* tp_den) {
+      for (int cls = 0; cls < num_classes; ++cls) tp_den[cls] = 1.0;
+      ProbeClasses(object, placement, num_classes, mask, out);
+    }
   };
 
   /// Returns a fresh bound cursor, or nullptr when the model offers no

@@ -16,6 +16,7 @@
 #include "catalog/chbench.h"
 #include "catalog/tpcc_schema.h"
 #include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "dot/sla.h"
 #include "exec/executor.h"
 #include "storage/standard_catalog.h"
@@ -45,7 +46,7 @@ TEST(HtapInterferenceTest, ZeroCouplingIsolatesTheSides) {
   HtapConfig config;
   config.interference_kappa = 0.0;
   SmallHtap inst(config);
-  EXPECT_TRUE(inst.htap().interference_rows().empty());
+  EXPECT_EQ(inst.htap().num_interference_rows(), 0);
   const std::vector<int> p = UniformPlacement(inst.schema.NumObjects(), 0);
   EXPECT_EQ(inst.htap().OltpInterferenceMs(p), 0.0);
   EXPECT_EQ(inst.htap().DssInterferenceMs(p), 0.0);
@@ -70,23 +71,18 @@ TEST(HtapInterferenceTest, OnlySharedObjectsGetInterferenceRows) {
   Schema schema = MakeTpccSchema(30);
   BoxConfig box = MakeBox2();
   HtapBundle bundle = MakeChbenchHtapWorkload(&schema, &box, HtapConfig{});
-  ASSERT_FALSE(bundle.htap->interference_rows().empty());
+  ASSERT_GT(bundle.htap->num_interference_rows(), 0);
   const int history = schema.FindObject("history");
   ASSERT_GE(history, 0);
-  for (const HtapWorkload::InterferenceRow& row :
-       bundle.htap->interference_rows()) {
-    EXPECT_NE(row.object, history);
-    EXPECT_EQ(row.oltp_ms_by_class.size(),
-              static_cast<size_t>(box.NumClasses()));
-    EXPECT_EQ(row.dss_ms_by_class.size(),
-              static_cast<size_t>(box.NumClasses()));
+  for (int row = 0; row < bundle.htap->num_interference_rows(); ++row) {
+    EXPECT_NE(bundle.htap->interference_object(row), history);
   }
   // order_line is the hottest shared object: both the mix and CH-Q1 hit
   // it, so it must be present.
   const int order_line = schema.FindObject("order_line");
   bool found = false;
-  for (const auto& row : bundle.htap->interference_rows()) {
-    found = found || row.object == order_line;
+  for (int row = 0; row < bundle.htap->num_interference_rows(); ++row) {
+    found = found || bundle.htap->interference_object(row) == order_line;
   }
   EXPECT_TRUE(found);
 }
@@ -112,17 +108,22 @@ TEST(HtapInterferenceTest, TermsScaleLinearlyWithCoupling) {
 TEST(HtapInterferenceTest, AdditiveOverSharedObjects) {
   SmallHtap inst(HtapConfig{});
   std::vector<int> p = UniformPlacement(inst.schema.NumObjects(), 0);
-  double expected = 0.0;
-  for (const auto& row : inst.htap().interference_rows()) {
-    expected += row.oltp_ms_by_class[0];
+  // Reference the sum through the same pinned schedule the model uses, so
+  // the equality is exact at any row count.
+  const int rows = inst.htap().num_interference_rows();
+  ASSERT_GT(rows, 0);
+  std::vector<double> terms(static_cast<size_t>(rows));
+  for (int row = 0; row < rows; ++row) {
+    terms[static_cast<size_t>(row)] = inst.htap().interference_oltp_ms(row, 0);
   }
+  const double expected = BlockedSum(terms.data(), rows);
   EXPECT_EQ(inst.htap().OltpInterferenceMs(p), expected);
 
   // Moving one shared object changes exactly its own term.
-  const auto& first = inst.htap().interference_rows().front();
-  p[static_cast<size_t>(first.object)] = 2;
-  EXPECT_EQ(inst.htap().OltpInterferenceMs(p),
-            expected - first.oltp_ms_by_class[0] + first.oltp_ms_by_class[2]);
+  const int first_object = inst.htap().interference_object(0);
+  p[static_cast<size_t>(first_object)] = 2;
+  terms[0] = inst.htap().interference_oltp_ms(0, 2);
+  EXPECT_EQ(inst.htap().OltpInterferenceMs(p), BlockedSum(terms.data(), rows));
 }
 
 TEST(HtapSlaTest, TargetsFoldOneCapPerSide) {
